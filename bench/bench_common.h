@@ -1,0 +1,21 @@
+// Shared scaffolding for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/sweep.h"
+
+namespace lifeguard::bench {
+
+inline void print_banner(const char* what, const char* paper_ref,
+                         const harness::ReproOptions& opt) {
+  std::printf("== %s ==\n", what);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Mode: %s grid (REPRO_FULL=%d), seed %llu%s\n\n",
+              opt.full ? "full paper" : "quick", opt.full ? 1 : 0,
+              static_cast<unsigned long long>(opt.seed),
+              opt.reps_override > 0 ? " (REPRO_REPS override)" : "");
+}
+
+}  // namespace lifeguard::bench

@@ -1,0 +1,61 @@
+// Microbenchmarks: transmit-limited broadcast queue under churn.
+#include <benchmark/benchmark.h>
+
+#include "proto/broadcast.h"
+
+namespace {
+
+using namespace lifeguard::proto;
+
+std::vector<std::uint8_t> frame(int i) {
+  return std::vector<std::uint8_t>(40, static_cast<std::uint8_t>(i));
+}
+
+void BM_QueueAndInvalidate(benchmark::State& state) {
+  BroadcastQueue q(4);
+  int i = 0;
+  for (auto _ : state) {
+    // Updates about a rotating set of members: each queue() invalidates the
+    // previous update about the same member (the hot path during churn).
+    q.queue("member-" + std::to_string(i % 64), frame(i));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueAndInvalidate);
+
+void BM_GetBroadcastsMtuFill(benchmark::State& state) {
+  const int pending = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BroadcastQueue q(4);
+    for (int i = 0; i < pending; ++i) {
+      q.queue("member-" + std::to_string(i), frame(i));
+    }
+    state.ResumeTiming();
+    // Fill one 1400-byte packet's worth of piggyback.
+    auto out = q.get_broadcasts(0, 1400, 128);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GetBroadcastsMtuFill)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SteadyStateDrain(benchmark::State& state) {
+  // The steady cycle: a burst of updates, drained by successive packets
+  // until the queue empties (retransmit limit for n=128 is 12).
+  for (auto _ : state) {
+    state.PauseTiming();
+    BroadcastQueue q(4);
+    for (int i = 0; i < 32; ++i) q.queue("m" + std::to_string(i), frame(i));
+    state.ResumeTiming();
+    while (!q.empty()) {
+      auto out = q.get_broadcasts(0, 1400, 128);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+}
+BENCHMARK(BM_SteadyStateDrain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

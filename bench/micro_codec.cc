@@ -1,0 +1,100 @@
+// Microbenchmarks: wire codec encode/decode and compound packing.
+#include <benchmark/benchmark.h>
+
+#include "proto/wire.h"
+
+namespace {
+
+using namespace lifeguard;
+using namespace lifeguard::proto;
+
+void BM_EncodePing(benchmark::State& state) {
+  const Ping ping{12345, "node-042", "node-117", Address{0x0a000001, 7946}};
+  for (auto _ : state) {
+    auto bytes = encode_datagram(ping);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_EncodePing);
+
+void BM_DecodePing(benchmark::State& state) {
+  const auto bytes =
+      encode_datagram(Ping{12345, "node-042", "node-117", Address{1, 7946}});
+  for (auto _ : state) {
+    BufReader r(bytes);
+    auto msg = decode(r);
+    benchmark::DoNotOptimize(msg);
+  }
+}
+BENCHMARK(BM_DecodePing);
+
+void BM_EncodePushPull(benchmark::State& state) {
+  PushPull p;
+  p.from = "node-0";
+  p.from_addr = {1, 7946};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    p.members.push_back(MemberSnapshot{
+        "node-" + std::to_string(i), Address{static_cast<std::uint32_t>(i), 1},
+        i, 0});
+  }
+  for (auto _ : state) {
+    auto bytes = encode_datagram(p);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EncodePushPull)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_DecodePushPull(benchmark::State& state) {
+  PushPull p;
+  p.from = "node-0";
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    p.members.push_back(MemberSnapshot{
+        "node-" + std::to_string(i), Address{static_cast<std::uint32_t>(i), 1},
+        i, 0});
+  }
+  const auto bytes = encode_datagram(p);
+  for (auto _ : state) {
+    BufReader r(bytes);
+    auto msg = decode(r);
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecodePushPull)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_PackCompound(benchmark::State& state) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < state.range(0); ++i) {
+    frames.push_back(
+        encode_datagram(Suspect{"node-" + std::to_string(i),
+                                static_cast<std::uint64_t>(i), "accuser"}));
+  }
+  for (auto _ : state) {
+    auto packed = pack_compound(frames);
+    benchmark::DoNotOptimize(packed);
+  }
+}
+BENCHMARK(BM_PackCompound)->Arg(4)->Arg(32);
+
+void BM_UnpackCompound(benchmark::State& state) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < state.range(0); ++i) {
+    frames.push_back(
+        encode_datagram(Suspect{"node-" + std::to_string(i),
+                                static_cast<std::uint64_t>(i), "accuser"}));
+  }
+  const auto packed = pack_compound(frames);
+  std::vector<std::span<const std::uint8_t>> out;
+  for (auto _ : state) {
+    const bool ok = unpack_compound(packed, out);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_UnpackCompound)->Arg(4)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

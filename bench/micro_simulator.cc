@@ -1,0 +1,62 @@
+// Microbenchmarks: simulator throughput — virtual cluster-seconds per real
+// second, the quantity that bounds how big a grid the repro benches can run.
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace lifeguard;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  TimePoint now{};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    q.push(TimePoint{(t * 7919) % 100000}, [] {});
+    ++t;
+    if (t % 4 == 0) q.run_next(now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_ClusterSimulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::SimParams p;
+    p.seed = 7;
+    sim::Simulator sim(n, swim::Config::lifeguard(), p);
+    sim.start_all();
+    sim.run_for(sec(30));  // 30 virtual seconds incl. join churn
+    benchmark::DoNotOptimize(sim.datagrams_routed());
+  }
+  state.counters["virtual_s_per_s"] = benchmark::Counter(
+      30.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClusterSimulation)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterWithAnomalies(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimParams p;
+    p.seed = 9;
+    sim::Simulator sim(64, swim::Config::swim_baseline(), p);
+    sim.start_all();
+    sim.run_for(sec(10));
+    for (int v = 0; v < 8; ++v) sim.block_node(v);
+    sim.run_for(sec(15));
+    for (int v = 0; v < 8; ++v) sim.unblock_node(v);
+    sim.run_for(sec(5));
+    benchmark::DoNotOptimize(sim.datagrams_routed());
+  }
+  state.counters["virtual_s_per_s"] = benchmark::Counter(
+      30.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClusterWithAnomalies)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Microbenchmarks: suspicion-timeout math and confirmation bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include "swim/suspicion.h"
+
+namespace {
+
+using namespace lifeguard;
+using namespace lifeguard::swim;
+
+void BM_TimeoutFormula(benchmark::State& state) {
+  int c = 0;
+  for (auto _ : state) {
+    const Duration t = suspicion_timeout(sec(10), sec(60), 3, c % 5);
+    benchmark::DoNotOptimize(t);
+    ++c;
+  }
+}
+BENCHMARK(BM_TimeoutFormula);
+
+void BM_SuspicionMin(benchmark::State& state) {
+  int n = 2;
+  for (auto _ : state) {
+    const Duration t = suspicion_min(5.0, n, sec(1));
+    benchmark::DoNotOptimize(t);
+    n = n % 6000 + 2;
+  }
+}
+BENCHMARK(BM_SuspicionMin);
+
+void BM_ConfirmationFlow(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Suspicion s("member", 1, "origin", sec(10), sec(60), k, TimePoint{});
+    for (int i = 0; i < k + 2; ++i) {
+      const bool fresh = s.confirm("from-" + std::to_string(i));
+      benchmark::DoNotOptimize(fresh);
+      benchmark::DoNotOptimize(s.deadline());
+    }
+  }
+}
+BENCHMARK(BM_ConfirmationFlow)->Arg(3)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

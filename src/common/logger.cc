@@ -1,0 +1,33 @@
+#include "common/logger.h"
+
+#include <cstdio>
+
+namespace lifeguard {
+
+const char* log_level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel l, std::string_view msg) const {
+  if (!enabled(l)) return;
+  if (sink_) {
+    sink_(l, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s %.*s\n", log_level_name(l), prefix_.c_str(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace lifeguard

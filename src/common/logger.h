@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Protocol code logs through a per-node Logger so experiment harnesses can
+// silence or capture output. Formatting is std::format-free on purpose (older
+// libstdc++ compatibility) — callers build strings with operator+ or
+// append(); hot paths guard with enabled() so disabled logging costs one
+// branch.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace lifeguard {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* log_level_name(LogLevel l);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  Logger() = default;
+  Logger(std::string prefix, LogLevel min_level)
+      : prefix_(std::move(prefix)), min_level_(min_level) {}
+
+  void set_level(LogLevel l) { min_level_ = l; }
+  LogLevel level() const { return min_level_; }
+  void set_prefix(std::string p) { prefix_ = std::move(p); }
+  /// Replace the default stderr sink (e.g. to capture logs in tests).
+  void set_sink(Sink s) { sink_ = std::move(s); }
+
+  bool enabled(LogLevel l) const { return l >= min_level_; }
+
+  void log(LogLevel l, std::string_view msg) const;
+  void debug(std::string_view msg) const { log(LogLevel::kDebug, msg); }
+  void info(std::string_view msg) const { log(LogLevel::kInfo, msg); }
+  void warn(std::string_view msg) const { log(LogLevel::kWarn, msg); }
+  void error(std::string_view msg) const { log(LogLevel::kError, msg); }
+
+ private:
+  std::string prefix_;
+  LogLevel min_level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+}  // namespace lifeguard

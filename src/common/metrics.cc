@@ -1,0 +1,65 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace lifeguard {
+
+double Histogram::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Histogram::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Histogram::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return samples_[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Histogram::merge(const Histogram& o) {
+  samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+  sorted_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+std::int64_t Metrics::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void Metrics::merge(const Metrics& o) {
+  for (const auto& [k, c] : o.counters_) counters_[k].add(c.value());
+  for (const auto& [k, h] : o.histograms_) histograms_[k].merge(h);
+}
+
+void Metrics::reset() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace lifeguard

@@ -1,0 +1,74 @@
+// Lightweight metrics: counters and sample histograms.
+//
+// This plays the role Consul telemetry plays in the paper's evaluation —
+// message/byte counts and latency distributions are read from here by the
+// harness. No locking: each node's metrics are touched only from its runtime
+// thread; cross-node aggregation happens after a run completes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lifeguard {
+
+class Counter {
+ public:
+  void add(std::int64_t v = 1) { value_ += v; }
+  std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Stores raw samples; percentile extraction sorts on demand. Suitable for
+/// experiment-scale sample counts (millions), not unbounded production use.
+class Histogram {
+ public:
+  void record(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// q in [0, 1]; linear interpolation between closest ranks. Returns 0 when
+  /// empty.
+  double percentile(double q) const;
+  const std::vector<double>& samples() const { return samples_; }
+  void merge(const Histogram& o);
+  void reset() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Named metric registry. Keys are dotted paths ("net.msgs_sent.udp").
+class Metrics {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  std::int64_t counter_value(const std::string& name) const;
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Adds all of `o`'s counters and histogram samples into this registry.
+  void merge(const Metrics& o);
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace lifeguard

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the protocol and the simulator draws from an
+// Rng owned by its runtime, seeded from the experiment seed, so entire cluster
+// runs replay bit-identically. xoshiro256** is small, fast and high quality;
+// SplitMix64 expands seeds into full state (the construction recommended by
+// the xoshiro authors).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lifeguard {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound == 0 returns 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Log-uniform double in [lo, hi]; lo must be > 0 and <= hi.
+  double log_uniform(double lo, double hi);
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (stable across platforms).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 single step, exposed for tests and seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace lifeguard

@@ -1,0 +1,22 @@
+#include "common/types.h"
+
+namespace lifeguard {
+
+std::string Address::to_string() const {
+  return std::to_string((ip >> 24) & 0xff) + "." +
+         std::to_string((ip >> 16) & 0xff) + "." +
+         std::to_string((ip >> 8) & 0xff) + "." + std::to_string(ip & 0xff) +
+         ":" + std::to_string(port);
+}
+
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::kUdp:
+      return "udp";
+    case Channel::kReliable:
+      return "reliable";
+  }
+  return "?";
+}
+
+}  // namespace lifeguard

@@ -1,0 +1,91 @@
+// Strong time and address types shared by every module.
+//
+// We deliberately avoid std::chrono in protocol code: the simulator owns a
+// virtual clock, and a single integral microsecond representation keeps event
+// ordering, serialization and arithmetic trivial while the wrapper types stop
+// accidental unit mixups (Core Guidelines I.4: strongly typed interfaces).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace lifeguard {
+
+/// A span of time in microseconds. Value type, totally ordered.
+struct Duration {
+  std::int64_t us = 0;
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return {us + o.us}; }
+  constexpr Duration operator-(Duration o) const { return {us - o.us}; }
+  constexpr Duration& operator+=(Duration o) {
+    us += o.us;
+    return *this;
+  }
+  constexpr Duration operator*(std::int64_t k) const { return {us * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {us / k}; }
+
+  /// Scale by a floating factor (used by LHA timeout scaling); truncates.
+  constexpr Duration scaled(double f) const {
+    return {static_cast<std::int64_t>(static_cast<double>(us) * f)};
+  }
+
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+  constexpr double millis() const { return static_cast<double>(us) / 1e3; }
+  constexpr bool is_zero() const { return us == 0; }
+  constexpr bool is_negative() const { return us < 0; }
+};
+
+constexpr Duration usec(std::int64_t v) { return {v}; }
+constexpr Duration msec(std::int64_t v) { return {v * 1000}; }
+constexpr Duration sec(std::int64_t v) { return {v * 1000000}; }
+/// Fractional seconds helper for configuration code.
+constexpr Duration sec_f(double v) {
+  return {static_cast<std::int64_t>(v * 1e6)};
+}
+
+/// An instant on a (virtual or real) monotonic clock, microseconds since the
+/// clock's epoch.
+struct TimePoint {
+  std::int64_t us = 0;
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return {us + d.us}; }
+  constexpr TimePoint operator-(Duration d) const { return {us - d.us}; }
+  constexpr Duration operator-(TimePoint o) const { return {us - o.us}; }
+
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+};
+
+/// Network endpoint. In the simulator, `ip` is the node index and `port` is
+/// zero; over the real UDP transport it is a genuine IPv4 endpoint.
+struct Address {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  constexpr auto operator<=>(const Address&) const = default;
+  constexpr bool is_unset() const { return ip == 0 && port == 0; }
+
+  std::string to_string() const;
+};
+
+/// Which logical channel a packet travels on. kUdp models memberlist's UDP
+/// path (subject to loss); kReliable models its TCP path (push-pull state
+/// sync and the fallback direct probe) — lossless but still latency-bound and
+/// still subject to anomaly blocking.
+enum class Channel : std::uint8_t { kUdp = 0, kReliable = 1 };
+
+const char* channel_name(Channel c);
+
+}  // namespace lifeguard
+
+template <>
+struct std::hash<lifeguard::Address> {
+  std::size_t operator()(const lifeguard::Address& a) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(a.ip) << 16) | a.port);
+  }
+};

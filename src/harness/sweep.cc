@@ -1,0 +1,160 @@
+#include "harness/sweep.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace lifeguard::harness {
+
+ReproOptions ReproOptions::from_env() {
+  ReproOptions opt;
+  if (const char* f = std::getenv("REPRO_FULL")) {
+    opt.full = std::atoi(f) != 0;
+  }
+  if (const char* r = std::getenv("REPRO_REPS")) {
+    opt.reps_override = std::atoi(r);
+  }
+  if (const char* s = std::getenv("REPRO_SEED")) {
+    opt.seed = static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  return opt;
+}
+
+Grid interval_grid(const ReproOptions& opt) {
+  Grid g;
+  if (opt.full) {
+    // Paper Table III, verbatim.
+    g.concurrency = {1, 4, 8, 12, 16, 20, 24, 28, 32};
+    g.durations = {msec(128), msec(512),   msec(2048),
+                   msec(8192), msec(16384), msec(32768)};
+    g.intervals = {msec(1),   msec(4),    msec(16),  msec(64),
+                   msec(256), msec(1024), msec(4096), msec(16384)};
+    g.repetitions = 10;
+    g.test_length = sec(120);
+  } else {
+    // A representative slice of Table III: one sub-timeout duration (512 ms,
+    // no FPs expected), the two durations that straddle the SWIM suspicion
+    // timeout from above, and intervals spanning tight flapping to long
+    // recovery windows.
+    g.concurrency = {1, 8, 16, 32};
+    g.durations = {msec(512), msec(16384), msec(32768)};
+    g.intervals = {msec(4), msec(256), msec(4096)};
+    g.repetitions = 1;
+    g.test_length = sec(120);
+  }
+  if (opt.reps_override > 0) g.repetitions = opt.reps_override;
+  return g;
+}
+
+Grid threshold_grid(const ReproOptions& opt) {
+  Grid g;
+  if (opt.full) {
+    // Paper Table II, verbatim.
+    g.concurrency = {1, 4, 8, 12, 16, 20, 24, 28, 32};
+    g.durations = {msec(128), msec(512),   msec(2048),
+                   msec(8192), msec(16384), msec(32768)};
+    g.repetitions = 10;
+    g.observe = sec(105);  // anomaly + detection + recovery within 120 s
+  } else {
+    g.concurrency = {1, 8, 16, 32};
+    // Only D > the suspicion timeout yields completed true detections; the
+    // smaller D values exist to confirm no detection happens (kept in the
+    // full grid). The quick grid spends its runs where samples come from.
+    g.durations = {msec(16384), msec(32768)};
+    g.repetitions = 2;
+    g.observe = sec(70);
+  }
+  if (opt.reps_override > 0) g.repetitions = opt.reps_override;
+  return g;
+}
+
+std::uint64_t run_seed(std::uint64_t base, int c, std::int64_t d_us,
+                       std::int64_t i_us, int rep) {
+  std::uint64_t s = base;
+  // Mix each coordinate through SplitMix64 — cheap, well distributed, and
+  // identical for every configuration at the same grid point (paired runs).
+  s ^= splitmix64(s) + static_cast<std::uint64_t>(c);
+  s ^= splitmix64(s) + static_cast<std::uint64_t>(d_us);
+  s ^= splitmix64(s) + static_cast<std::uint64_t>(i_us);
+  s ^= splitmix64(s) + static_cast<std::uint64_t>(rep);
+  return splitmix64(s);
+}
+
+IntervalSweepResult sweep_interval(const swim::Config& cfg, const Grid& grid,
+                                   std::uint64_t seed_base,
+                                   const ProgressFn& progress) {
+  IntervalSweepResult agg;
+  const int total = static_cast<int>(grid.concurrency.size() *
+                                     grid.durations.size() *
+                                     grid.intervals.size()) *
+                    grid.repetitions;
+  int done = 0;
+  for (int c : grid.concurrency) {
+    for (Duration d : grid.durations) {
+      for (Duration i : grid.intervals) {
+        for (int rep = 0; rep < grid.repetitions; ++rep) {
+          IntervalParams p;
+          p.base.cluster_size = grid.cluster_size;
+          p.base.quiesce = grid.quiesce;
+          p.base.config = cfg;
+          p.base.seed = run_seed(seed_base, c, d.us, i.us, rep);
+          p.concurrent = c;
+          p.duration = d;
+          p.interval = i;
+          p.test_length = grid.test_length;
+          const RunResult r = run_interval(p);
+          agg.fp += r.fp_events;
+          agg.fpm += r.fp_healthy_events;
+          agg.msgs += r.msgs_sent;
+          agg.bytes += r.bytes_sent;
+          agg.fp_by_c[c] += r.fp_events;
+          agg.fpm_by_c[c] += r.fp_healthy_events;
+          ++agg.runs;
+          if (progress) progress(++done, total);
+        }
+      }
+    }
+  }
+  return agg;
+}
+
+ThresholdSweepResult sweep_threshold(const swim::Config& cfg, const Grid& grid,
+                                     std::uint64_t seed_base,
+                                     const ProgressFn& progress) {
+  ThresholdSweepResult agg;
+  const int total =
+      static_cast<int>(grid.concurrency.size() * grid.durations.size()) *
+      grid.repetitions;
+  int done = 0;
+  for (int c : grid.concurrency) {
+    for (Duration d : grid.durations) {
+      for (int rep = 0; rep < grid.repetitions; ++rep) {
+        ThresholdParams p;
+        p.base.cluster_size = grid.cluster_size;
+        p.base.quiesce = grid.quiesce;
+        p.base.config = cfg;
+        p.base.seed = run_seed(seed_base, c, d.us, 0, rep);
+        p.concurrent = c;
+        p.duration = d;
+        p.observe = grid.observe;
+        const RunResult r = run_threshold(p);
+        for (double s : r.first_detect) agg.first_detect.record(s);
+        for (double s : r.full_dissem) agg.full_dissem.record(s);
+        ++agg.runs;
+        if (progress) progress(++done, total);
+      }
+    }
+  }
+  return agg;
+}
+
+ProgressFn stderr_progress(std::string label) {
+  return [label](int done, int total) {
+    std::fprintf(stderr, "\r%s: %d/%d runs", label.c_str(), done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  };
+}
+
+}  // namespace lifeguard::harness

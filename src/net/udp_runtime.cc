@@ -1,0 +1,190 @@
+#include "net/udp_runtime.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace lifeguard::net {
+
+namespace {
+
+constexpr std::size_t kMaxDatagram = 60 * 1024;
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+sockaddr_in to_sockaddr(const Address& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(a.ip);
+  sa.sin_port = htons(a.port);
+  return sa;
+}
+
+}  // namespace
+
+UdpRuntime::UdpRuntime(std::uint16_t port, std::uint64_t seed) : rng_(seed) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  bind_addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("bind() failed");
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &len);
+  local_ = Address{ntohl(actual.sin_addr.s_addr), ntohs(actual.sin_port)};
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("pipe() failed");
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+  epoch_ns_ = steady_ns();
+}
+
+UdpRuntime::~UdpRuntime() {
+  shutdown();
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void UdpRuntime::start(PacketHandler* handler) {
+  handler_ = handler;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void UdpRuntime::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  const char byte = 1;
+  // Best-effort wakeup; a full pipe already guarantees a pending wake.
+  [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void UdpRuntime::shutdown() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true);
+  post([] {});  // wake the loop
+  thread_.join();
+}
+
+TimePoint UdpRuntime::now() const {
+  return TimePoint{(steady_ns() - epoch_ns_) / 1000};
+}
+
+TimerId UdpRuntime::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < Duration{0}) delay = Duration{0};
+  const TimerId id = next_timer_id_++;
+  timers_.push(Timer{now() + delay, id, std::move(fn)});
+  return id;
+}
+
+void UdpRuntime::cancel(TimerId id) {
+  if (id != kInvalidTimer) cancelled_.insert(id);
+}
+
+void UdpRuntime::send(const Address& to, std::vector<std::uint8_t> payload,
+                      Channel channel) {
+  if (payload.size() + 1 > kMaxDatagram) return;
+  // One-byte channel prefix multiplexes both logical channels onto the one
+  // socket (see header).
+  std::vector<std::uint8_t> framed;
+  framed.reserve(payload.size() + 1);
+  framed.push_back(static_cast<std::uint8_t>(channel));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  const sockaddr_in sa = to_sockaddr(to);
+  ::sendto(fd_, framed.data(), framed.size(), 0,
+           reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+}
+
+Duration UdpRuntime::time_to_next_timer() const {
+  if (timers_.empty()) return msec(100);
+  const Duration d = timers_.top().at - now();
+  if (d < Duration{0}) return Duration{0};
+  return d < msec(100) ? d : msec(100);
+}
+
+void UdpRuntime::run_due_timers() {
+  while (!timers_.empty()) {
+    const Timer& top = timers_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      timers_.pop();
+      continue;
+    }
+    if (top.at > now()) break;
+    auto fn = std::move(const_cast<Timer&>(top).fn);
+    timers_.pop();
+    fn();
+  }
+}
+
+void UdpRuntime::drain_socket() {
+  std::uint8_t buf[kMaxDatagram];
+  while (true) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n =
+        ::recvfrom(fd_, buf, sizeof(buf), MSG_DONTWAIT,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n <= 0) break;
+    const Address peer{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
+    const auto ch = static_cast<Channel>(buf[0]);
+    if (handler_ != nullptr && n > 1) {
+      handler_->on_packet(
+          peer, std::span<const std::uint8_t>(buf + 1,
+                                              static_cast<std::size_t>(n - 1)),
+          ch);
+    }
+  }
+}
+
+void UdpRuntime::loop() {
+  while (!stopping_.load()) {
+    // Tasks first (they may schedule timers or send packets).
+    std::deque<std::function<void()>> tasks;
+    {
+      const std::lock_guard<std::mutex> lock(task_mu_);
+      tasks.swap(tasks_);
+    }
+    for (auto& t : tasks) t();
+
+    run_due_timers();
+
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const Duration wait = time_to_next_timer();
+    const int timeout_ms = static_cast<int>((wait.us + 999) / 1000);
+    const int rv = ::poll(fds, 2, timeout_ms);
+    if (rv > 0) {
+      if ((fds[1].revents & POLLIN) != 0) {
+        char sink[64];
+        while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
+        }
+      }
+      if ((fds[0].revents & POLLIN) != 0) drain_socket();
+    }
+  }
+}
+
+}  // namespace lifeguard::net

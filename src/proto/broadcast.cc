@@ -1,0 +1,60 @@
+#include "proto/broadcast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "proto/wire.h"
+
+namespace lifeguard::proto {
+
+int retransmit_limit(int retransmit_mult, int n) {
+  const double scale = std::ceil(std::log10(static_cast<double>(n) + 1.0));
+  return static_cast<int>(retransmit_mult * std::max(1.0, scale));
+}
+
+void BroadcastQueue::queue(const std::string& member,
+                           std::vector<std::uint8_t> frame) {
+  invalidate(member);
+  entries_.push_back(Entry{member, std::move(frame), 0, next_id_++});
+}
+
+void BroadcastQueue::invalidate(const std::string& member) {
+  std::erase_if(entries_, [&](const Entry& e) { return e.key == member; });
+}
+
+std::vector<std::vector<std::uint8_t>> BroadcastQueue::get_broadcasts(
+    std::size_t per_frame_overhead_base, std::size_t byte_budget, int n) {
+  std::vector<std::vector<std::uint8_t>> out;
+  if (entries_.empty()) return out;
+
+  // Fewest transmits first; ties broken newest-first.
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.transmits != b.transmits)
+                       return a.transmits < b.transmits;
+                     return a.enqueue_id > b.enqueue_id;
+                   });
+
+  const int limit = retransmit_limit(retransmit_mult_, n);
+  std::size_t used = 0;
+  std::vector<std::size_t> done;  // indices that reached their limit
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    const std::size_t cost =
+        e.frame.size() + per_frame_overhead_base +
+        compound_frame_overhead(e.frame.size());
+    if (used + cost > byte_budget) continue;  // try smaller later frames
+    used += cost;
+    out.push_back(e.frame);
+    ++e.transmits;
+    ++total_transmits_;
+    if (e.transmits >= limit) done.push_back(i);
+  }
+  // Remove exhausted entries (reverse order keeps indices valid).
+  for (auto it = done.rbegin(); it != done.rend(); ++it) {
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  return out;
+}
+
+}  // namespace lifeguard::proto

@@ -1,0 +1,64 @@
+// Transmit-limited gossip broadcast queue (memberlist's
+// TransmitLimitedQueue).
+//
+// Each state update (alive / suspect / dead about one member) is enqueued as a
+// pre-encoded frame keyed by the member's name. An update is piggybacked onto
+// outgoing packets until it has been transmitted `retransmit_limit(n)` times,
+// where n is the current cluster size — the `λ·⌈log10(n+1)⌉` rule from SWIM's
+// dissemination component. Selection prefers frames with the fewest transmits
+// so far (SWIM's "prefer less-shared updates" rule); among equals, newer
+// first. A new update about a member invalidates any queued older update
+// about the same member.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <vector>
+
+namespace lifeguard::proto {
+
+/// λ·⌈log10(n+1)⌉ with multiplier λ. n is the number of known members.
+int retransmit_limit(int retransmit_mult, int n);
+
+class BroadcastQueue {
+ public:
+  explicit BroadcastQueue(int retransmit_mult)
+      : retransmit_mult_(retransmit_mult) {}
+
+  /// Queue `frame` (an encoded message) keyed by `member`. Replaces any
+  /// queued broadcast with the same key.
+  void queue(const std::string& member, std::vector<std::uint8_t> frame);
+
+  /// Select frames to piggyback: greedily packs frames (fewest transmits
+  /// first) whose size + `per_frame_overhead` fits within `byte_budget`.
+  /// Increments transmit counts and drops frames that reached the limit for
+  /// cluster size `n`. Returned frames are copies (the queue may drop its own
+  /// storage).
+  std::vector<std::vector<std::uint8_t>> get_broadcasts(
+      std::size_t per_frame_overhead_base, std::size_t byte_budget, int n);
+
+  /// Remove a queued broadcast about `member` (e.g. superseded externally).
+  void invalidate(const std::string& member);
+
+  std::size_t pending() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total frames handed out by get_broadcasts (telemetry).
+  std::int64_t total_transmits() const { return total_transmits_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<std::uint8_t> frame;
+    int transmits = 0;
+    std::uint64_t enqueue_id = 0;  // newer = larger
+  };
+
+  int retransmit_mult_;
+  std::uint64_t next_id_ = 1;
+  std::int64_t total_transmits_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lifeguard::proto

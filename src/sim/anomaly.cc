@@ -1,0 +1,88 @@
+#include "sim/anomaly.h"
+
+#include <memory>
+
+namespace lifeguard::sim {
+
+std::vector<int> pick_victims(Simulator& sim, int count) {
+  std::vector<int> all(static_cast<std::size_t>(sim.size()));
+  for (int i = 0; i < sim.size(); ++i) all[static_cast<std::size_t>(i)] = i;
+  sim.rng().shuffle(all);
+  if (count > sim.size()) count = sim.size();
+  all.resize(static_cast<std::size_t>(count));
+  return all;
+}
+
+void schedule_threshold_anomaly(Simulator& sim, const std::vector<int>& victims,
+                                TimePoint start, Duration duration) {
+  // Lock-step on/off, synchronized "via the system clock" (paper §V-D1).
+  sim.at(start, [&sim, victims] {
+    for (int v : victims) sim.block_node(v);
+  });
+  sim.at(start + duration, [&sim, victims] {
+    for (int v : victims) sim.unblock_node(v);
+  });
+}
+
+void schedule_interval_anomaly(Simulator& sim, const std::vector<int>& victims,
+                               TimePoint start, Duration duration,
+                               Duration interval, TimePoint end) {
+  TimePoint t = start;
+  // The paper runs cycles until 120 s have passed, ending with the close of
+  // the next anomalous period; expand the cycle list up front (bounded).
+  while (t < end) {
+    schedule_threshold_anomaly(sim, victims, t, duration);
+    t = t + duration + interval;
+  }
+}
+
+namespace {
+
+// Self-rescheduling per-victim stress cycle. Owned by the closure chain;
+// keeps itself alive via shared_ptr until `end`.
+struct StressCycle : std::enable_shared_from_this<StressCycle> {
+  Simulator& sim;
+  int victim;
+  TimePoint end;
+  StressParams params;
+  Rng rng;
+
+  StressCycle(Simulator& s, int v, TimePoint e, StressParams p, Rng r)
+      : sim(s), victim(v), end(e), params(p), rng(r) {}
+
+  void begin_block(TimePoint at) {
+    if (at >= end) {
+      // Leave the node unblocked at experiment end.
+      sim.at(at, [this, self = shared_from_this()] {
+        sim.unblock_node(victim);
+      });
+      return;
+    }
+    const Duration block{static_cast<std::int64_t>(rng.log_uniform(
+        static_cast<double>(params.block_min.us),
+        static_cast<double>(params.block_max.us)))};
+    const Duration run{static_cast<std::int64_t>(rng.log_uniform(
+        static_cast<double>(params.run_min.us),
+        static_cast<double>(params.run_max.us)))};
+    sim.at(at, [this, self = shared_from_this()] { sim.block_node(victim); });
+    sim.at(at + block,
+           [this, self = shared_from_this()] { sim.unblock_node(victim); });
+    begin_block(at + block + run);
+  }
+};
+
+}  // namespace
+
+void schedule_stress_anomaly(Simulator& sim, const std::vector<int>& victims,
+                             TimePoint start, TimePoint end,
+                             StressParams params) {
+  for (int v : victims) {
+    auto cycle = std::make_shared<StressCycle>(sim, v, end, params,
+                                               sim.rng().fork());
+    // Stagger onset slightly: workloads never land at the same instant.
+    const Duration jitter{cycle->rng.uniform_range(0, 500000)};
+    cycle->begin_block(start + jitter);
+  }
+}
+
+}  // namespace lifeguard::sim

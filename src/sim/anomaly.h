@@ -1,0 +1,49 @@
+// Anomaly schedules (paper §V-D).
+//
+// An anomaly is a span during which a member's protocol message sends and
+// receives are blocked. Three schedules:
+//   * Threshold: one synchronized set of C anomalies of duration D — the
+//     worst case of fully correlated slowness (e.g. power event on a rack).
+//   * Interval: the C members cycle anomalous-for-D / normal-for-I in
+//     lock-step until the experiment ends — intermittent slowness.
+//   * Stress: each afflicted member independently cycles with randomized
+//     block/run spans — our model of the paper's Fig. 1 CPU-exhaustion
+//     scenario (stress -c 128 on one core: progress in short random bursts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace lifeguard::sim {
+
+/// Choose C distinct victim node indices uniformly from [0, sim.size()).
+std::vector<int> pick_victims(Simulator& sim, int count);
+
+/// Threshold: block `victims` at `start`, unblock at `start + duration`.
+void schedule_threshold_anomaly(Simulator& sim, const std::vector<int>& victims,
+                                TimePoint start, Duration duration);
+
+/// Interval: cycle blocked-for-`duration` / open-for-`interval`, starting at
+/// `start`; the last cycle begun before `end` completes (the paper runs "until
+/// the end of the next anomalous period").
+void schedule_interval_anomaly(Simulator& sim, const std::vector<int>& victims,
+                               TimePoint start, Duration duration,
+                               Duration interval, TimePoint end);
+
+/// Stress: per-victim independent cycles; block spans drawn log-uniform from
+/// [block_min, block_max], run windows log-uniform from [run_min, run_max].
+struct StressParams {
+  Duration block_min = sec(2);
+  Duration block_max = sec(40);
+  Duration run_min = msec(1);
+  Duration run_max = msec(50);
+};
+void schedule_stress_anomaly(Simulator& sim, const std::vector<int>& victims,
+                             TimePoint start, TimePoint end,
+                             StressParams params);
+
+}  // namespace lifeguard::sim

@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace lifeguard::sim {
+
+std::uint64_t EventQueue::push(TimePoint at, std::function<void()> fn) {
+  const std::uint64_t id = next_seq_++;
+  heap_.push(Ev{at, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::cancel(std::uint64_t id) {
+  if (id == 0 || id >= next_seq_) return;
+  cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::next_time() {
+  drop_cancelled_top();
+  return heap_.top().at;
+}
+
+bool EventQueue::run_next(TimePoint& now) {
+  drop_cancelled_top();
+  if (heap_.empty()) return false;
+  // Move the closure out before popping; run after popping so the handler
+  // can push new events freely.
+  auto fn = std::move(const_cast<Ev&>(heap_.top()).fn);
+  now = heap_.top().at;
+  heap_.pop();
+  ++executed_;
+  fn();
+  return true;
+}
+
+}  // namespace lifeguard::sim

@@ -1,0 +1,56 @@
+// Discrete-event queue: the simulator's clock and scheduler.
+//
+// Events fire in (time, insertion-sequence) order, so same-timestamp events
+// run FIFO and runs are bit-reproducible. Cancellation is lazy (tombstone
+// set) — O(1) cancel, skipped at pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lifeguard::sim {
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`. Returns a handle (never 0).
+  std::uint64_t push(TimePoint at, std::function<void()> fn);
+  /// Tombstone a pending event. Unknown/fired handles are ignored.
+  void cancel(std::uint64_t id);
+
+  bool empty();
+  /// Timestamp of the next live event; queue must not be empty.
+  TimePoint next_time();
+  /// Pop and run the next live event, advancing `now` to its timestamp.
+  /// Returns false when the queue is empty.
+  bool run_next(TimePoint& now);
+
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Ev {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace lifeguard::sim

@@ -1,0 +1,35 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace lifeguard::sim {
+
+Duration Network::sample_latency() {
+  const std::int64_t lo = params_.latency_min.us;
+  const std::int64_t hi = std::max(lo, params_.latency_max.us);
+  return Duration{rng_.uniform_range(lo, hi)};
+}
+
+bool Network::should_drop(int from_node, int to_node, Channel ch) {
+  const auto f = static_cast<std::size_t>(from_node);
+  const auto t = static_cast<std::size_t>(to_node);
+  if (f >= groups_.size() || t >= groups_.size()) return true;
+  if (groups_[f] != groups_[t]) {
+    metrics_.counter("net.dropped.partition").add();
+    return true;
+  }
+  if (ch == Channel::kUdp && rng_.chance(params_.udp_loss)) {
+    metrics_.counter("net.dropped.loss").add();
+    return true;
+  }
+  return false;
+}
+
+void Network::set_partition(int node, int group) {
+  const auto i = static_cast<std::size_t>(node);
+  if (i < groups_.size()) groups_[i] = group;
+}
+
+void Network::heal() { std::fill(groups_.begin(), groups_.end(), 0); }
+
+}  // namespace lifeguard::sim

@@ -1,0 +1,53 @@
+// Network model: latency, loss and partitions between simulated nodes.
+//
+// Defaults approximate the paper's loopback testbed (sub-millisecond,
+// lossless). UDP loss and partitions are available for failure-injection
+// tests and robustness experiments; the reliable channel is never subjected
+// to random loss (it models TCP) but does respect partitions and latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace lifeguard::sim {
+
+struct NetworkParams {
+  Duration latency_min = usec(200);
+  Duration latency_max = msec(2);
+  /// Probability an individual UDP datagram is dropped.
+  double udp_loss = 0.0;
+};
+
+class Network {
+ public:
+  Network(NetworkParams params, int num_nodes, Rng rng)
+      : params_(params), groups_(static_cast<std::size_t>(num_nodes), 0),
+        rng_(rng) {}
+
+  /// Sample a one-way delivery latency.
+  Duration sample_latency();
+
+  /// True when the datagram should be dropped (loss or partition).
+  bool should_drop(int from_node, int to_node, Channel ch);
+
+  /// Assign `node` to partition `group`; nodes in different groups cannot
+  /// exchange packets. Group 0 is the default for everyone.
+  void set_partition(int node, int group);
+  /// Heal all partitions.
+  void heal();
+
+  NetworkParams& params() { return params_; }
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  NetworkParams params_;
+  std::vector<int> groups_;
+  Rng rng_;
+  Metrics metrics_;
+};
+
+}  // namespace lifeguard::sim

@@ -1,0 +1,119 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace lifeguard::sim {
+
+Address sim_address(int node_index) {
+  return Address{static_cast<std::uint32_t>(node_index) + 1, 7946};
+}
+
+Simulator::Simulator(int num_nodes, const swim::Config& cfg, SimParams params)
+    : rng_(params.seed) {
+  network_ = std::make_unique<Network>(params.network, num_nodes, rng_.fork());
+  runtimes_.reserve(static_cast<std::size_t>(num_nodes));
+  listeners_.reserve(static_cast<std::size_t>(num_nodes));
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  crashed_.assign(static_cast<std::size_t>(num_nodes), false);
+  for (int i = 0; i < num_nodes; ++i) {
+    const Address addr = sim_address(i);
+    runtimes_.push_back(std::make_unique<SimRuntime>(
+        *this, i, addr, rng_.fork(), params.msg_proc_cost,
+        params.recv_buffer_bytes));
+    listeners_.push_back(std::make_unique<swim::RecordingListener>());
+    nodes_.push_back(std::make_unique<swim::Node>(
+        "node-" + std::to_string(i), addr, cfg, *runtimes_.back(),
+        listeners_.back().get()));
+    swim::Node* node = nodes_.back().get();
+    runtimes_.back()->attach(node, [node] { node->on_unblocked(); });
+  }
+}
+
+Simulator::~Simulator() {
+  // Nodes cancel timers against the queue in their destructors; destroy them
+  // before the queue (member order already guarantees this; being explicit
+  // guards against reordering).
+  nodes_.clear();
+}
+
+void Simulator::start_all() {
+  for (auto& node : nodes_) node->start();
+  // Stagger joins within the first second, like agents brought up by a
+  // provisioning system; everyone joins through node 0.
+  for (int i = 1; i < size(); ++i) {
+    const Duration jitter{rng_.uniform_range(1000, 1000000)};
+    swim::Node* node = nodes_[static_cast<std::size_t>(i)].get();
+    at(now_ + jitter, [node] { node->join({sim_address(0)}); });
+  }
+}
+
+void Simulator::run_until(TimePoint t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    queue_.run_next(now_);
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_for(Duration d) { run_until(now_ + d); }
+
+bool Simulator::converged(int expected_active) const {
+  for (const auto& node : nodes_) {
+    if (!node->running()) continue;
+    if (node->members().num_active() != expected_active) return false;
+  }
+  return true;
+}
+
+void Simulator::block_node(int index) {
+  runtimes_[static_cast<std::size_t>(index)]->set_blocked(true);
+}
+
+void Simulator::unblock_node(int index) {
+  runtimes_[static_cast<std::size_t>(index)]->set_blocked(false);
+}
+
+bool Simulator::is_blocked(int index) const {
+  return runtimes_[static_cast<std::size_t>(index)]->blocked();
+}
+
+void Simulator::crash_node(int index) {
+  crashed_[static_cast<std::size_t>(index)] = true;
+  nodes_[static_cast<std::size_t>(index)]->stop();
+}
+
+void Simulator::at(TimePoint t, std::function<void()> fn) {
+  queue_.push(t, std::move(fn));
+}
+
+void Simulator::route(int from_node, const Address& to,
+                      std::vector<std::uint8_t> payload, Channel channel) {
+  const int target = index_of(to);
+  if (target < 0) return;
+  if (crashed_[static_cast<std::size_t>(target)]) return;  // dead host
+  if (network_->should_drop(from_node, target, channel)) return;
+  ++datagrams_routed_;
+  const Duration latency = network_->sample_latency();
+  SimRuntime* rt = runtimes_[static_cast<std::size_t>(target)].get();
+  const Address from = sim_address(from_node);
+  // The payload is moved into the delivery closure; shared_ptr keeps the
+  // closure copyable for std::function.
+  auto data = std::make_shared<std::vector<std::uint8_t>>(std::move(payload));
+  queue_.push(now_ + latency, [rt, from, data, channel] {
+    rt->deliver(from, std::move(*data), channel);
+  });
+}
+
+int Simulator::index_of(const Address& addr) const {
+  const int idx = static_cast<int>(addr.ip) - 1;
+  if (idx < 0 || idx >= size() || addr.port != 7946) return -1;
+  return idx;
+}
+
+Metrics Simulator::aggregate_metrics() const {
+  Metrics out;
+  for (const auto& node : nodes_) out.merge(node->metrics());
+  out.merge(network_->metrics());
+  return out;
+}
+
+}  // namespace lifeguard::sim

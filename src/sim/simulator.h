@@ -1,0 +1,112 @@
+// Simulator — owns the virtual clock, event queue, network model and the
+// cluster of SWIM nodes. Deterministic: a (config, seed) pair replays
+// identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/sim_runtime.h"
+#include "swim/config.h"
+#include "swim/events.h"
+#include "swim/node.h"
+
+namespace lifeguard::sim {
+
+struct SimParams {
+  NetworkParams network;
+  std::uint64_t seed = 1;
+  /// Virtual CPU cost of handling one inbound message once a backlog exists
+  /// (see SimRuntime). The anomaly instrumentation blocks I/O, not the CPU,
+  /// so an agent in an open window runs at full speed — a few microseconds
+  /// per datagram. Zero disables rate-limiting entirely.
+  Duration msg_proc_cost = usec(5);
+  /// Kernel receive-buffer bound per node (Linux rmem default ballpark).
+  /// UDP datagrams past this are dropped; the reliable channel (TCP) is
+  /// flow-controlled and never overflow-dropped.
+  std::size_t recv_buffer_bytes = 256 * 1024;
+};
+
+/// Address scheme for simulated nodes: ip = index + 1, port = 7946.
+Address sim_address(int node_index);
+
+class Simulator {
+ public:
+  Simulator(int num_nodes, const swim::Config& cfg, SimParams params);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // ---- cluster control ----
+  /// Start every node and have each (except node 0) join via node 0. The
+  /// paper's experiments then allow a quiesce period before injecting
+  /// anomalies.
+  void start_all();
+  /// Drive the event loop until the virtual clock reaches `t`.
+  void run_until(TimePoint t);
+  /// Convenience: run_until(now + d).
+  void run_for(Duration d);
+  /// True when every running node sees exactly `expected_active` active
+  /// members.
+  bool converged(int expected_active) const;
+
+  // ---- anomaly injection (paper §V-D) ----
+  void block_node(int index);
+  void unblock_node(int index);
+  bool is_blocked(int index) const;
+
+  // ---- crash/stop (true failures) ----
+  /// Hard-kill: the node stops processing everything (process death).
+  void crash_node(int index);
+
+  // ---- access ----
+  TimePoint now() const { return now_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  swim::Node& node(int index) { return *nodes_[static_cast<std::size_t>(index)]; }
+  const swim::Node& node(int index) const {
+    return *nodes_[static_cast<std::size_t>(index)];
+  }
+  SimRuntime& runtime(int index) {
+    return *runtimes_[static_cast<std::size_t>(index)];
+  }
+  const swim::RecordingListener& events(int index) const {
+    return *listeners_[static_cast<std::size_t>(index)];
+  }
+  Network& network() { return *network_; }
+  EventQueue& queue() { return queue_; }
+  Rng& rng() { return rng_; }
+  /// Schedule an experiment-control callback at absolute time `t`.
+  void at(TimePoint t, std::function<void()> fn);
+
+  /// Aggregate node metrics plus network metrics into one registry.
+  Metrics aggregate_metrics() const;
+  /// Total datagrams delivered by the network (telemetry).
+  std::int64_t datagrams_routed() const { return datagrams_routed_; }
+
+  // SimRuntime-facing: route a datagram through the network model.
+  void route(int from_node, const Address& to,
+             std::vector<std::uint8_t> payload, Channel channel);
+
+ private:
+  int index_of(const Address& addr) const;
+
+  TimePoint now_{};
+  EventQueue queue_;
+  Rng rng_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<SimRuntime>> runtimes_;
+  std::vector<std::unique_ptr<swim::RecordingListener>> listeners_;
+  std::vector<std::unique_ptr<swim::Node>> nodes_;
+  std::vector<bool> crashed_;
+  std::int64_t datagrams_routed_ = 0;
+};
+
+}  // namespace lifeguard::sim

@@ -1,0 +1,45 @@
+#include "swim/config.h"
+
+namespace lifeguard::swim {
+
+Config Config::swim_baseline() {
+  Config c;
+  c.lha_probe = false;
+  c.lha_suspicion = false;
+  c.buddy_system = false;
+  c.suspicion_alpha = 5.0;
+  c.suspicion_beta = 1.0;  // fixed timeout
+  return c;
+}
+
+Config Config::lifeguard() { return Config{}; }
+
+Config Config::lha_probe_only() {
+  Config c = swim_baseline();
+  c.lha_probe = true;
+  return c;
+}
+
+Config Config::lha_suspicion_only() {
+  Config c = swim_baseline();
+  c.lha_suspicion = true;
+  c.suspicion_beta = 6.0;
+  return c;
+}
+
+Config Config::buddy_only() {
+  Config c = swim_baseline();
+  c.buddy_system = true;
+  return c;
+}
+
+std::string Config::table1_name() const {
+  if (!lha_probe && !lha_suspicion && !buddy_system) return "SWIM";
+  if (lha_probe && !lha_suspicion && !buddy_system) return "LHA-Probe";
+  if (!lha_probe && lha_suspicion && !buddy_system) return "LHA-Suspicion";
+  if (!lha_probe && !lha_suspicion && buddy_system) return "Buddy System";
+  if (lha_probe && lha_suspicion && buddy_system) return "Lifeguard";
+  return "Custom";
+}
+
+}  // namespace lifeguard::swim

@@ -1,0 +1,21 @@
+#include "swim/events.h"
+
+namespace lifeguard::swim {
+
+const char* event_type_name(EventType t) {
+  switch (t) {
+    case EventType::kJoin:
+      return "join";
+    case EventType::kAlive:
+      return "alive";
+    case EventType::kSuspect:
+      return "suspect";
+    case EventType::kFailed:
+      return "failed";
+    case EventType::kLeft:
+      return "left";
+  }
+  return "?";
+}
+
+}  // namespace lifeguard::swim

@@ -1,0 +1,64 @@
+// Cluster event reporting.
+//
+// Every local membership state transition is reported through an
+// EventListener. The harness uses `originated` to distinguish a *failure
+// event* (this node's own suspicion timeout declared the member dead — what
+// the paper counts as a false positive when the member is healthy) from mere
+// dissemination (applying a gossiped dead). RecordingListener retains events
+// for post-run analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lifeguard::swim {
+
+enum class EventType : std::uint8_t {
+  kJoin = 0,     ///< previously unknown member became alive
+  kAlive = 1,    ///< suspicion refuted / member recovered
+  kSuspect = 2,  ///< member entered suspect state locally
+  kFailed = 3,   ///< member declared dead (failure event)
+  kLeft = 4,     ///< graceful leave
+};
+
+const char* event_type_name(EventType t);
+
+struct MemberEvent {
+  TimePoint at{};
+  EventType type = EventType::kJoin;
+  std::string member;           ///< who the event is about
+  std::string reporter;         ///< node at which the transition happened
+  std::string origin;           ///< originator (for suspect/failed gossip)
+  std::uint64_t incarnation = 0;
+  /// True when this node itself originated the transition (its own probe
+  /// failure or suspicion timeout), false when applying received gossip.
+  bool originated = false;
+};
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+  virtual void on_event(const MemberEvent& e) = 0;
+};
+
+/// Appends every event to a vector (per-node; single-threaded).
+class RecordingListener : public EventListener {
+ public:
+  void on_event(const MemberEvent& e) override { events_.push_back(e); }
+  const std::vector<MemberEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<MemberEvent> events_;
+};
+
+/// Discards events (benches that only read counters).
+class NullListener : public EventListener {
+ public:
+  void on_event(const MemberEvent&) override {}
+};
+
+}  // namespace lifeguard::swim

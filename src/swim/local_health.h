@@ -1,0 +1,52 @@
+// Local Health Multiplier — LHA-Probe's feedback accumulator (paper §IV-A).
+//
+// A saturating counter in [0, S]. Events that suggest the *local* failure
+// detector is processing messages slowly raise it; timely acks lower it. The
+// probe interval and timeout scale by (LHM + 1), so a node that suspects its
+// own timeliness backs off before accusing peers:
+//
+//   +1  failed probe (no ack by period end)
+//   +1  each missed nack from an indirect-probe relay
+//   +1  refuting a suspicion about self
+//   −1  successful probe
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace lifeguard::swim {
+
+class LocalHealth {
+ public:
+  /// `max_score` is S; `enabled` false pins the multiplier at 1 (baseline
+  /// SWIM keeps fixed timings regardless of events fed in).
+  LocalHealth(int max_score, bool enabled)
+      : max_(max_score), enabled_(enabled) {}
+
+  void probe_success() { adjust(-1); }
+  void probe_failed() { adjust(+1); }
+  void missed_nack() { adjust(+1); }
+  void refuted_suspicion() { adjust(+1); }
+
+  /// Current LHM value in [0, S].
+  int score() const { return enabled_ ? score_ : 0; }
+  /// Timing multiplier (LHM + 1) in [1, S+1].
+  int multiplier() const { return score() + 1; }
+  /// Scale a base duration by the multiplier.
+  Duration scale(Duration base) const { return base * multiplier(); }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  void adjust(int delta) {
+    if (!enabled_) return;
+    score_ = std::clamp(score_ + delta, 0, max_);
+  }
+
+  int max_;
+  bool enabled_;
+  int score_ = 0;
+};
+
+}  // namespace lifeguard::swim

@@ -1,0 +1,19 @@
+#include "swim/member.h"
+
+namespace lifeguard::swim {
+
+const char* member_state_name(MemberState s) {
+  switch (s) {
+    case MemberState::kAlive:
+      return "alive";
+    case MemberState::kSuspect:
+      return "suspect";
+    case MemberState::kDead:
+      return "dead";
+    case MemberState::kLeft:
+      return "left";
+  }
+  return "?";
+}
+
+}  // namespace lifeguard::swim

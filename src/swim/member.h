@@ -1,0 +1,37 @@
+// Member record and state machine vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace lifeguard::swim {
+
+/// SWIM member states. Left is memberlist's graceful-leave refinement of
+/// Dead (a dead message whose originator is the member itself).
+enum class MemberState : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,
+  kDead = 2,
+  kLeft = 3,
+};
+
+const char* member_state_name(MemberState s);
+
+/// True for states in which the member is still part of the active group
+/// (probed, counted in n, used as gossip/relay target).
+constexpr bool is_active(MemberState s) {
+  return s == MemberState::kAlive || s == MemberState::kSuspect;
+}
+
+struct Member {
+  std::string name;
+  Address addr;
+  std::uint64_t incarnation = 0;
+  MemberState state = MemberState::kAlive;
+  /// When the member entered its current state (local clock).
+  TimePoint state_change{};
+};
+
+}  // namespace lifeguard::swim

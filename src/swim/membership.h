@@ -1,0 +1,75 @@
+// Membership table: the local view of the group.
+//
+// Owns the member records plus the round-robin probe order. SWIM's refinement
+// over pure random probing (paper §III-A): targets are taken round-robin from
+// a randomly ordered list, new members are inserted at a random position, and
+// the list is reshuffled after each full pass. This bounds worst-case
+// first-detection latency while preserving the expected-case analysis.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "swim/member.h"
+
+namespace lifeguard::swim {
+
+class MembershipTable {
+ public:
+  /// `self` is excluded from probe/gossip target selection but stored like
+  /// any member (it must appear in push-pull state).
+  explicit MembershipTable(std::string self_name);
+
+  // ---- lookup ----
+  Member* find(const std::string& name);
+  const Member* find(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  const std::string& self_name() const { return self_; }
+
+  /// Number of known members in active states (alive or suspect), including
+  /// self. This is the `n` used for gossip retransmit and suspicion scaling.
+  int num_active() const;
+  /// All known members (any state), unspecified order.
+  std::vector<const Member*> all() const;
+  std::size_t size() const { return members_.size(); }
+
+  // ---- mutation ----
+  /// Insert a new member. Active members also enter the probe list at a
+  /// random position (SWIM's join rule). Returns the stored record.
+  Member& add(Member m, Rng& rng);
+  /// Update state; maintains the active count. Does not touch probe order
+  /// (dead members are skipped lazily at selection time).
+  void set_state(Member& m, MemberState s, TimePoint now);
+  /// Drop a member entirely (dead-reclaim housekeeping).
+  void remove(const std::string& name);
+
+  // ---- probe order ----
+  /// Next round-robin probe target: skips self and non-active members;
+  /// reshuffles at the end of each pass. Returns nullptr if no eligible
+  /// target exists.
+  Member* next_probe_target(Rng& rng);
+
+  // ---- random selection ----
+  /// Up to `k` distinct members satisfying `pred`, chosen uniformly,
+  /// excluding self and any name in `exclude`.
+  std::vector<Member*> random_members(
+      int k, Rng& rng, const std::vector<std::string>& exclude,
+      const std::function<bool(const Member&)>& pred);
+
+  /// Convenience: k random active members.
+  std::vector<Member*> random_active(int k, Rng& rng,
+                                     const std::vector<std::string>& exclude);
+
+ private:
+  std::string self_;
+  std::unordered_map<std::string, Member> members_;
+  std::vector<std::string> probe_order_;
+  std::size_t probe_index_ = 0;
+};
+
+}  // namespace lifeguard::swim

@@ -1,0 +1,223 @@
+// swim::Node — a complete SWIM + Lifeguard group-membership agent.
+//
+// One Node is one group member. It implements:
+//   * SWIM's randomized round-robin probe failure detector with indirect
+//     probes (ping / ping-req / ack) and the Suspicion subprotocol
+//     (suspect / alive / dead with incarnation precedence),
+//   * memberlist's extensions: dedicated gossip tick, reliable-channel
+//     fallback direct probe, anti-entropy push-pull state sync, dead-node
+//     retention and gossip-to-the-dead,
+//   * the three Lifeguard components (paper §IV), each independently
+//     switchable via Config: LHA-Probe (Local Health Multiplier scaling the
+//     probe interval/timeout, plus the nack protocol), LHA-Suspicion
+//     (dynamic suspicion timeouts with re-gossip of the first K independent
+//     suspicions) and the Buddy System piggyback selector.
+//
+// All interaction with the environment goes through Runtime; the node is
+// single-threaded and never blocks. Incoming datagrams enter through
+// on_packet(); membership transitions exit through the EventListener.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logger.h"
+#include "common/metrics.h"
+#include "common/types.h"
+#include "proto/broadcast.h"
+#include "proto/wire.h"
+#include "runtime/runtime.h"
+#include "swim/config.h"
+#include "swim/events.h"
+#include "swim/local_health.h"
+#include "swim/membership.h"
+#include "swim/piggyback.h"
+#include "swim/suspicion.h"
+
+namespace lifeguard::swim {
+
+class Node : public PacketHandler {
+ public:
+  /// `listener` may be null (events are dropped). The listener must outlive
+  /// the node.
+  Node(std::string name, Address addr, Config cfg, Runtime& rt,
+       EventListener* listener = nullptr);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // ---- lifecycle ----
+  /// Marks self alive and begins the probe / gossip / push-pull schedules.
+  void start();
+  /// Initiates a push-pull join exchange with each seed address.
+  void join(const std::vector<Address>& seeds);
+  /// Graceful leave: broadcasts a dead-about-self (left) message. The node
+  /// keeps running so the intent disseminates; call stop() afterwards.
+  void leave();
+  /// Cancels all timers; the node goes quiet. Idempotent.
+  void stop();
+  bool running() const { return running_; }
+
+  // ---- runtime callbacks ----
+  void on_packet(const Address& from, std::span<const std::uint8_t> payload,
+                 Channel channel) override;
+  /// Invoked by the simulator when an injected anomaly ends; re-enables the
+  /// stalled probe/gossip loops.
+  void on_unblocked();
+
+  // ---- introspection ----
+  const std::string& name() const { return name_; }
+  const Address& address() const { return addr_; }
+  const Config& config() const { return cfg_; }
+  const MembershipTable& members() const { return table_; }
+  const LocalHealth& local_health() const { return health_; }
+  std::uint64_t incarnation() const { return incarnation_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  Logger& logger() { return log_; }
+  /// Convenience for tests/harness: this node's view of `member`'s state, or
+  /// nullopt when unknown.
+  std::optional<MemberState> state_of(const std::string& member) const;
+  std::size_t pending_broadcasts() const { return bcast_.pending(); }
+
+ private:
+  // ---- outbound (node.cc) ----
+  /// Encode `control` plus piggybacked gossip into one compound datagram and
+  /// transmit it. Gossip frames precede the control frame so a refutation
+  /// triggered by a buddy suspect is processed before the ping it rides on.
+  void send_message(const Address& to, Channel ch, const proto::Message& control,
+                    const std::string* ping_target);
+  /// Pure gossip datagram (dedicated gossip tick); no-op if nothing queued.
+  void send_gossip(const Address& to);
+  void count_sent(const char* type, std::size_t bytes, Channel ch);
+  /// Enqueue an encoded state update for gossip dissemination.
+  void broadcast(const std::string& member, const proto::Message& m);
+
+  // ---- schedules (node.cc) ----
+  void schedule_ticks();
+  void gossip_tick();
+  /// One fan-out round of pure gossip packets (shared by the tick and the
+  /// unblock catch-up).
+  void gossip_round();
+  void push_pull_tick();
+  /// One anti-entropy exchange with a random peer (tick / unblock catch-up).
+  void push_pull_round();
+  /// Periodic reconnect attempt: push-pull with a random dead member so
+  /// healed partitions re-merge (Serf-style).
+  void reconnect_tick();
+  void housekeeping_tick();
+  void cancel_timer(TimerId& id);
+
+  // ---- probe pipeline (node_probe.cc) ----
+  void probe_tick();
+  /// Select the next round-robin target and begin probing it, if no probe is
+  /// already in flight.
+  void start_probe_once();
+  void begin_probe(Member& target);
+  void probe_timeout_expired();
+  void launch_indirect();
+  void finish_probe();
+  Duration scaled_probe_interval() const;
+  Duration scaled_probe_timeout() const;
+  void handle_ping(const Address& from, const proto::Ping& p, Channel ch);
+  void handle_ping_req(const proto::PingReq& p, Channel ch);
+  void handle_ack(const proto::Ack& a);
+  void handle_nack(const proto::Nack& n);
+
+  // ---- state machine (node_handlers.cc) ----
+  void on_alive_msg(const proto::Alive& a);
+  void on_suspect_msg(const proto::Suspect& s);
+  void on_dead_msg(const proto::Dead& d);
+  void start_suspicion(Member& m, std::uint64_t incarnation,
+                       const std::string& from);
+  void arm_suspicion_timer(Suspicion& susp);
+  void on_suspicion_timeout(const std::string& member);
+  void cancel_suspicion(const std::string& member);
+  /// Gossip a higher-incarnation alive about self; bumps local health.
+  void refute(std::uint64_t suspected_incarnation);
+  void emit(EventType type, const Member& m, const std::string& origin,
+            bool originated);
+  /// Encoded suspect frame about `target` iff we currently suspect it
+  /// (Buddy System priority frame).
+  std::optional<std::vector<std::uint8_t>> buddy_frame(
+      const std::string& target);
+
+  // ---- anti-entropy (node_sync.cc) ----
+  void handle_push_pull(const proto::PushPull& p);
+  std::vector<proto::MemberSnapshot> snapshot_state() const;
+  void merge_remote_state(const proto::PushPull& p);
+
+  // ---- data ----
+  std::string name_;
+  Address addr_;
+  Config cfg_;
+  Runtime& rt_;
+  EventListener* listener_;
+
+  MembershipTable table_;
+  proto::BroadcastQueue bcast_;
+  std::unique_ptr<PiggybackSelector> piggyback_;
+  LocalHealth health_;
+  Logger log_;
+  Metrics metrics_;
+
+  std::uint64_t incarnation_ = 0;
+  std::uint32_t next_seq_ = 1;
+  bool running_ = false;
+  bool leaving_ = false;
+
+  /// In-flight direct/indirect probe state for the current protocol period.
+  struct ProbeState {
+    std::uint32_t seq = 0;
+    std::string target;
+    bool acked = false;
+    bool indirect_started = false;
+    int nacks_expected = 0;
+    int nacks_received = 0;
+    /// Period ended while the runtime was blocked: the probe goroutine is
+    /// still stuck in send(), so the outcome is evaluated at unblock.
+    bool pending_finish = false;
+    /// Ack timeout expired while blocked: the indirect stage could not be
+    /// launched (goroutine stuck); it launches at unblock.
+    bool pending_indirect = false;
+    TimerId timeout_timer = kInvalidTimer;
+    TimerId period_timer = kInvalidTimer;
+  };
+  std::optional<ProbeState> probe_;
+  /// Set when a tick fired while the runtime was anomaly-blocked: models the
+  /// probe/gossip goroutine stuck in send(); cleared on unblock.
+  bool probe_stalled_ = false;
+  bool gossip_stalled_ = false;
+  /// Ticks that fired while blocked leave one pending tick behind (Go ticker
+  /// semantics): the corresponding loop runs once, promptly, at unblock.
+  bool probe_tick_missed_ = false;
+  bool gossip_tick_missed_ = false;
+
+  /// Relay bookkeeping for ping-req service: our ping seq -> origin.
+  struct RelayState {
+    std::uint32_t origin_seq = 0;
+    std::string origin;
+    Address origin_addr;
+    Channel channel = Channel::kUdp;
+    bool acked = false;
+    bool nack_wanted = false;
+    TimerId nack_timer = kInvalidTimer;
+    TimerId expire_timer = kInvalidTimer;
+  };
+  std::unordered_map<std::uint32_t, RelayState> relays_;
+
+  std::unordered_map<std::string, Suspicion> suspicions_;
+
+  TimerId probe_tick_timer_ = kInvalidTimer;
+  TimerId gossip_tick_timer_ = kInvalidTimer;
+  TimerId push_pull_timer_ = kInvalidTimer;
+  TimerId reconnect_timer_ = kInvalidTimer;
+  TimerId housekeeping_timer_ = kInvalidTimer;
+};
+
+}  // namespace lifeguard::swim

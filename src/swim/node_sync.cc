@@ -1,0 +1,68 @@
+// Anti-entropy: push-pull full state sync over the reliable channel
+// (memberlist extension, paper §III-B). Also the join path: a joining node
+// push-pulls with a seed, and both sides merge.
+//
+// Merge rule of note: a remote *dead* entry is applied as a *suspicion*
+// (memberlist's mergeRemoteState), so a falsely-declared node that receives
+// the claim via sync still gets a refutation window instead of being
+// instantly killed in the local view.
+#include "swim/node.h"
+
+namespace lifeguard::swim {
+
+std::vector<proto::MemberSnapshot> Node::snapshot_state() const {
+  std::vector<proto::MemberSnapshot> out;
+  const auto all = table_.all();
+  out.reserve(all.size());
+  for (const Member* m : all) {
+    proto::MemberSnapshot s;
+    s.name = m->name;
+    s.addr = m->addr;
+    s.incarnation = m->incarnation;
+    s.state = static_cast<std::uint8_t>(m->state);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Node::handle_push_pull(const proto::PushPull& p) {
+  metrics_.counter("sync.received").add();
+  if (!p.is_response) {
+    proto::PushPull resp;
+    resp.is_response = true;
+    resp.join = false;
+    resp.from = name_;
+    resp.from_addr = addr_;
+    resp.members = snapshot_state();
+    send_message(p.from_addr, Channel::kReliable, resp, nullptr);
+  }
+  merge_remote_state(p);
+}
+
+void Node::merge_remote_state(const proto::PushPull& p) {
+  for (const auto& s : p.members) {
+    if (s.name.empty()) continue;
+    const auto state = static_cast<MemberState>(s.state);
+    switch (state) {
+      case MemberState::kAlive:
+        on_alive_msg(proto::Alive{s.name, s.incarnation, s.addr});
+        break;
+      case MemberState::kSuspect:
+      case MemberState::kDead:
+        // Dead degrades to suspect on merge: gives the subject a refutation
+        // window (see file comment). The originator is the LOCAL node, as in
+        // memberlist's mergeState — successive syncs with different peers
+        // must not masquerade as independent suspicions (that would collapse
+        // LHA-Suspicion timeouts spuriously). Unknown members are ignored by
+        // the suspect handler, matching memberlist.
+        on_suspect_msg(proto::Suspect{s.name, s.incarnation, name_});
+        break;
+      case MemberState::kLeft:
+        on_dead_msg(proto::Dead{s.name, s.incarnation, s.name});
+        break;
+    }
+    if (!running_) return;
+  }
+}
+
+}  // namespace lifeguard::swim

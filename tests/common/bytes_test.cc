@@ -1,0 +1,171 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lifeguard {
+namespace {
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  BufWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  BufWriter w;
+  w.u32(0x01020304);
+  const auto b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Bytes, VarintRoundTripBoundaries) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 ~0ull};
+  for (std::uint64_t v : cases) {
+    BufWriter w;
+    w.varint(v);
+    BufReader r(w.bytes());
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Bytes, VarintSizes) {
+  auto size_of = [](std::uint64_t v) {
+    BufWriter w;
+    w.varint(v);
+    return w.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(~0ull), 10u);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  BufWriter w;
+  w.str("");
+  w.str("node-42");
+  w.str(std::string(1000, 'x'));
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "node-42");
+  EXPECT_EQ(r.str(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Bytes, ReaderRejectsTruncation) {
+  BufWriter w;
+  w.u32(7);
+  auto full = w.bytes();
+  BufReader r(full.subspan(0, 2));
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, ReaderRejectsTruncatedString) {
+  BufWriter w;
+  w.varint(100);  // claims 100 bytes follow
+  w.u8('a');
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, ReaderRejectsVarintOverflow) {
+  // 11 continuation bytes can't fit in 64 bits.
+  std::vector<std::uint8_t> evil(11, 0xff);
+  BufReader r(evil);
+  (void)r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, ReaderStaysFailedAfterError) {
+  BufWriter w;
+  w.u8(1);
+  BufReader r(w.bytes());
+  (void)r.u32();  // fails
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // still failed; returns default
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, RawSpanViewsInput) {
+  BufWriter w;
+  w.raw(std::vector<std::uint8_t>{1, 2, 3, 4});
+  BufReader r(w.bytes());
+  auto s = r.raw(4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_TRUE(r.at_end());
+  auto over = r.raw(1);
+  EXPECT_TRUE(over.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, PatchU32) {
+  BufWriter w;
+  w.u32(0);
+  w.u8(9);
+  w.patch_u32(0, 0xcafebabe);
+  BufReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 0xcafebabeu);
+  EXPECT_EQ(r.u8(), 9);
+  // Out-of-range patch is a no-op, not UB.
+  w.patch_u32(100, 1);
+}
+
+TEST(Bytes, FuzzRoundTripRandomSequences) {
+  // Property: any sequence of typed writes reads back identically.
+  Rng rng(31);
+  for (int round = 0; round < 200; ++round) {
+    BufWriter w;
+    std::vector<std::pair<int, std::uint64_t>> ops;
+    const int n = static_cast<int>(rng.uniform(20)) + 1;
+    for (int i = 0; i < n; ++i) {
+      const int kind = static_cast<int>(rng.uniform(4));
+      const std::uint64_t v = rng.next_u64();
+      ops.emplace_back(kind, v);
+      switch (kind) {
+        case 0: w.u8(static_cast<std::uint8_t>(v)); break;
+        case 1: w.u32(static_cast<std::uint32_t>(v)); break;
+        case 2: w.u64(v); break;
+        case 3: w.varint(v); break;
+      }
+    }
+    BufReader r(w.bytes());
+    for (const auto& [kind, v] : ops) {
+      switch (kind) {
+        case 0: ASSERT_EQ(r.u8(), static_cast<std::uint8_t>(v)); break;
+        case 1: ASSERT_EQ(r.u32(), static_cast<std::uint32_t>(v)); break;
+        case 2: ASSERT_EQ(r.u64(), v); break;
+        case 3: ASSERT_EQ(r.varint(), v); break;
+      }
+    }
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.at_end());
+  }
+}
+
+}  // namespace
+}  // namespace lifeguard

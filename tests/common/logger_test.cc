@@ -1,0 +1,53 @@
+#include "common/logger.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lifeguard {
+namespace {
+
+TEST(Logger, LevelFiltering) {
+  Logger log("test", LogLevel::kWarn);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  log.set_sink([&](LogLevel l, std::string_view m) {
+    captured.emplace_back(l, std::string(m));
+  });
+  log.debug("d");
+  log.info("i");
+  log.warn("w");
+  log.error("e");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].second, "w");
+  EXPECT_EQ(captured[1].second, "e");
+}
+
+TEST(Logger, OffSilencesEverything) {
+  Logger log("test", LogLevel::kOff);
+  int calls = 0;
+  log.set_sink([&](LogLevel, std::string_view) { ++calls; });
+  log.error("should not appear");
+  EXPECT_EQ(calls, 0);
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+}
+
+TEST(Logger, LevelChangeAtRuntime) {
+  Logger log;
+  int calls = 0;
+  log.set_sink([&](LogLevel, std::string_view) { ++calls; });
+  log.info("dropped");  // default level is kOff
+  log.set_level(LogLevel::kDebug);
+  log.info("kept");
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(log.enabled(LogLevel::kDebug));
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace lifeguard

@@ -1,0 +1,93 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace lifeguard {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.add(-2);
+  EXPECT_EQ(c.value(), 40);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (double v : {4.0, 1.0, 3.0, 2.0, 5.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+}
+
+TEST(Histogram, PercentileInterpolation) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+  EXPECT_NEAR(h.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(h.percentile(0.99), 99.01, 1e-9);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), 100.0);
+}
+
+TEST(Histogram, RecordAfterPercentileStillSorts) {
+  Histogram h;
+  h.record(10);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+  h.record(1);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  a.record(1);
+  b.record(3);
+  b.record(5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Metrics, CounterLookupAndMerge) {
+  Metrics m1, m2;
+  m1.counter("x").add(5);
+  m2.counter("x").add(7);
+  m2.counter("y").add(1);
+  m2.histogram("h").record(2.0);
+  m1.merge(m2);
+  EXPECT_EQ(m1.counter_value("x"), 12);
+  EXPECT_EQ(m1.counter_value("y"), 1);
+  EXPECT_EQ(m1.counter_value("missing"), 0);
+  EXPECT_EQ(m1.histogram("h").count(), 1u);
+}
+
+TEST(Metrics, Reset) {
+  Metrics m;
+  m.counter("a").add(3);
+  m.histogram("b").record(1.0);
+  m.reset();
+  EXPECT_EQ(m.counter_value("a"), 0);
+  EXPECT_TRUE(m.counters().empty());
+  EXPECT_TRUE(m.histograms().empty());
+}
+
+}  // namespace
+}  // namespace lifeguard

@@ -1,0 +1,63 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lifeguard {
+namespace {
+
+TEST(Duration, ArithmeticAndComparison) {
+  EXPECT_EQ(msec(1), usec(1000));
+  EXPECT_EQ(sec(2), msec(2000));
+  EXPECT_EQ((sec(1) + msec(500)).us, 1'500'000);
+  EXPECT_EQ((sec(1) - msec(250)).us, 750'000);
+  EXPECT_EQ((msec(10) * 3).us, 30'000);
+  EXPECT_EQ((sec(1) / 4).us, 250'000);
+  EXPECT_LT(msec(1), msec(2));
+  EXPECT_GT(sec(1), msec(999));
+}
+
+TEST(Duration, ScaledTruncates) {
+  EXPECT_EQ(sec(1).scaled(2.5).us, 2'500'000);
+  EXPECT_EQ(msec(1).scaled(0.5).us, 500);
+  EXPECT_EQ(usec(3).scaled(0.5).us, 1);  // truncation toward zero
+}
+
+TEST(Duration, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(sec(3).seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(msec(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(usec(2500).millis(), 2.5);
+  EXPECT_TRUE(Duration{}.is_zero());
+  EXPECT_TRUE((msec(1) - msec(2)).is_negative());
+  EXPECT_EQ(sec_f(0.25), msec(250));
+}
+
+TEST(TimePoint, ArithmeticAndOrdering) {
+  const TimePoint t0{1'000'000};
+  EXPECT_EQ((t0 + sec(1)).us, 2'000'000);
+  EXPECT_EQ((t0 - msec(500)).us, 500'000);
+  EXPECT_EQ((t0 + sec(1)) - t0, sec(1));
+  EXPECT_LT(t0, t0 + usec(1));
+}
+
+TEST(Address, OrderingHashingFormatting) {
+  const Address a{0x7f000001, 7946};
+  const Address b{0x7f000001, 7947};
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.to_string(), "127.0.0.1:7946");
+  EXPECT_TRUE(Address{}.is_unset());
+  EXPECT_FALSE(a.is_unset());
+
+  std::unordered_set<Address> set{a, b, a};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Channel, Names) {
+  EXPECT_STREQ(channel_name(Channel::kUdp), "udp");
+  EXPECT_STREQ(channel_name(Channel::kReliable), "reliable");
+}
+
+}  // namespace
+}  // namespace lifeguard

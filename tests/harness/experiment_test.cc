@@ -1,0 +1,111 @@
+// Harness: experiment drivers produce sane, reproducible measurements.
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lifeguard::harness {
+namespace {
+
+TEST(Experiment, ThresholdDetectsLongAnomalies) {
+  ThresholdParams p;
+  p.base.cluster_size = 64;
+  p.base.config = swim::Config::swim_baseline();
+  p.base.seed = 301;
+  p.concurrent = 4;
+  p.duration = msec(32768);
+  p.observe = sec(60);
+  const RunResult r = run_threshold(p);
+  ASSERT_EQ(r.victims.size(), 4u);
+  // All four victims detected; latency ≈ probe (1-2 s) + timeout
+  // (5·log10(64) ≈ 9 s).
+  ASSERT_EQ(r.first_detect.size(), 4u);
+  for (double t : r.first_detect) {
+    EXPECT_GT(t, 8.0);
+    EXPECT_LT(t, 20.0);
+  }
+  // Dissemination completes shortly after detection.
+  ASSERT_FALSE(r.full_dissem.empty());
+  for (std::size_t i = 0; i < r.full_dissem.size(); ++i) {
+    EXPECT_GE(r.full_dissem[i], r.first_detect[i] - 1e-9);
+  }
+}
+
+TEST(Experiment, ThresholdShortAnomalyYieldsNoDetections) {
+  ThresholdParams p;
+  p.base.cluster_size = 64;
+  p.base.config = swim::Config::swim_baseline();
+  p.base.seed = 303;
+  p.concurrent = 4;
+  p.duration = msec(128);  // far below the suspicion timeout
+  p.observe = sec(40);
+  const RunResult r = run_threshold(p);
+  EXPECT_TRUE(r.first_detect.empty());
+  EXPECT_EQ(r.fp_events, 0);
+}
+
+TEST(Experiment, ReproducibleForSameSeed) {
+  IntervalParams p;
+  p.base.cluster_size = 48;
+  p.base.config = swim::Config::swim_baseline();
+  p.base.seed = 305;
+  p.concurrent = 8;
+  p.duration = msec(16384);
+  p.interval = msec(4);
+  p.test_length = sec(60);
+  const RunResult a = run_interval(p);
+  const RunResult b = run_interval(p);
+  EXPECT_EQ(a.fp_events, b.fp_events);
+  EXPECT_EQ(a.msgs_sent, b.msgs_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.victims, b.victims);
+}
+
+TEST(Experiment, VictimCountMatchesRequest) {
+  IntervalParams p;
+  p.base.cluster_size = 32;
+  p.base.config = swim::Config::lifeguard();
+  p.base.seed = 307;
+  p.concurrent = 5;
+  p.duration = msec(512);
+  p.interval = msec(256);
+  p.test_length = sec(20);
+  const RunResult r = run_interval(p);
+  EXPECT_EQ(r.victims.size(), 5u);
+  std::set<int> distinct(r.victims.begin(), r.victims.end());
+  EXPECT_EQ(distinct.size(), 5u);
+  EXPECT_GT(r.msgs_sent, 0);
+  EXPECT_GT(r.bytes_sent, 0);
+}
+
+TEST(Experiment, StressRunsAndReportsLoad) {
+  StressParams p;
+  p.base.cluster_size = 32;
+  p.base.config = swim::Config::lifeguard();
+  p.base.seed = 309;
+  p.stressed = 3;
+  p.test_length = sec(60);
+  const RunResult r = run_stress(p);
+  EXPECT_EQ(r.victims.size(), 3u);
+  EXPECT_GT(r.msgs_sent, 0);
+}
+
+TEST(Experiment, Table1ConfigsMatchPaperOrder) {
+  const auto configs = table1_configs(5.0, 6.0);
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs[0].name, "SWIM");
+  EXPECT_EQ(configs[1].name, "LHA-Probe");
+  EXPECT_EQ(configs[2].name, "LHA-Suspicion");
+  EXPECT_EQ(configs[3].name, "Buddy System");
+  EXPECT_EQ(configs[4].name, "Lifeguard");
+  // Tuning applies only to LHA-Suspicion configs.
+  const auto tuned = table1_configs(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(tuned[4].config.suspicion_alpha, 2.0);
+  EXPECT_DOUBLE_EQ(tuned[4].config.suspicion_beta, 4.0);
+  EXPECT_DOUBLE_EQ(tuned[0].config.suspicion_alpha, 5.0);  // SWIM fixed
+  EXPECT_DOUBLE_EQ(tuned[0].config.suspicion_beta, 1.0);
+}
+
+}  // namespace
+}  // namespace lifeguard::harness

@@ -1,0 +1,97 @@
+// Integration: the paper's headline claim at test scale — under intermittent
+// anomalies, baseline SWIM originates false positives about healthy members
+// while full Lifeguard suppresses (nearly all of) them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/experiment.h"
+
+namespace lifeguard {
+namespace {
+
+harness::RunResult run(const swim::Config& cfg, int concurrent,
+                       Duration duration, Duration interval,
+                       std::uint64_t seed) {
+  harness::IntervalParams p;
+  p.base.cluster_size = 64;
+  p.base.config = cfg;
+  p.base.seed = seed;
+  p.concurrent = concurrent;
+  p.duration = duration;
+  p.interval = interval;
+  p.test_length = sec(120);
+  return harness::run_interval(p);
+}
+
+TEST(AnomalyFalsePositives, SwimProducesThemLifeguardSuppressesThem) {
+  std::int64_t swim_fp = 0, lifeguard_fp = 0;
+  for (std::uint64_t seed : {101u, 102u, 103u}) {
+    swim_fp += run(swim::Config::swim_baseline(), 12, msec(16384), msec(4),
+                   seed)
+                   .fp_events;
+    lifeguard_fp +=
+        run(swim::Config::lifeguard(), 12, msec(16384), msec(4), seed)
+            .fp_events;
+  }
+  EXPECT_GT(swim_fp, 0) << "baseline should flap under these anomalies";
+  // The paper reports 50-100x; at this scale we insist on at least 3x and
+  // strictly fewer events.
+  EXPECT_LT(lifeguard_fp * 3, swim_fp)
+      << "SWIM=" << swim_fp << " Lifeguard=" << lifeguard_fp;
+}
+
+TEST(AnomalyFalsePositives, LhaSuspicionIsTheBiggestContributor) {
+  // Paper Table IV: LHA-Suspicion alone removes most false positives.
+  std::int64_t swim_fp = 0, lhas_fp = 0;
+  for (std::uint64_t seed : {111u, 112u, 113u}) {
+    swim_fp += run(swim::Config::swim_baseline(), 12, msec(16384), msec(4),
+                   seed)
+                   .fp_events;
+    lhas_fp += run(swim::Config::lha_suspicion_only(), 12, msec(16384),
+                   msec(4), seed)
+                   .fp_events;
+  }
+  EXPECT_GT(swim_fp, 0);
+  EXPECT_LT(lhas_fp * 2, swim_fp);
+}
+
+TEST(AnomalyFalsePositives, FalsePositivesConcentrateAtSlowMembers) {
+  // Paper: FP- (healthy reporters) is a small fraction of FP — the slow
+  // members themselves originate almost all false accusations.
+  std::int64_t fp = 0, fpm = 0;
+  for (std::uint64_t seed : {121u, 122u, 123u, 124u}) {
+    const auto r =
+        run(swim::Config::swim_baseline(), 16, msec(32768), msec(4), seed);
+    fp += r.fp_events;
+    fpm += r.fp_healthy_events;
+  }
+  ASSERT_GT(fp, 0);
+  EXPECT_LT(fpm * 2, fp) << "FP=" << fp << " FP-=" << fpm;
+}
+
+TEST(AnomalyFalsePositives, NoAnomaliesNoFalsePositives) {
+  const auto r = run(swim::Config::swim_baseline(), 0, msec(1000), msec(1000),
+                     131);
+  EXPECT_EQ(r.fp_events, 0);
+  EXPECT_EQ(r.fp_healthy_events, 0);
+}
+
+TEST(AnomalyFalsePositives, VictimsRecoverAfterExperiment) {
+  harness::IntervalParams p;
+  p.base.cluster_size = 48;
+  p.base.config = swim::Config::lifeguard();
+  p.base.seed = 141;
+  p.concurrent = 8;
+  p.duration = msec(8192);
+  p.interval = msec(256);
+  p.test_length = sec(60);
+  // run_interval drains briefly after the last cycle; afterwards the cluster
+  // must heal completely given a little more time. Re-run manually here.
+  const auto r = harness::run_interval(p);
+  EXPECT_EQ(r.cluster_size, 48);
+  EXPECT_EQ(r.victims.size(), 8u);
+}
+
+}  // namespace
+}  // namespace lifeguard

@@ -1,0 +1,133 @@
+// Dissemination properties of the gossip component at cluster level:
+// SWIM's O(log n) spread, refutation superseding queued suspicions, and the
+// piggyback MTU discipline.
+#include <gtest/gtest.h>
+
+#include "proto/wire.h"
+#include "sim/simulator.h"
+
+namespace lifeguard {
+namespace {
+
+sim::Simulator make(int n, std::uint64_t seed) {
+  sim::SimParams p;
+  p.seed = seed;
+  return sim::Simulator(n, swim::Config::lifeguard(), p);
+}
+
+/// Time for a fresh update (graceful leave) to reach every member.
+double dissemination_time(int n, std::uint64_t seed) {
+  auto sim = make(n, seed);
+  sim.start_all();
+  sim.run_for(sec(15));
+  EXPECT_TRUE(sim.converged(n));
+
+  sim.node(1).leave();
+  const TimePoint start = sim.now();
+  double last = -1;
+  // Poll in 100 ms steps until all views show the leave.
+  for (int step = 0; step < 600; ++step) {
+    sim.run_for(msec(100));
+    bool all = true;
+    for (int i = 0; i < n; ++i) {
+      if (i == 1) continue;
+      const auto st = sim.node(i).state_of("node-1");
+      all = all && st.has_value() && *st == swim::MemberState::kLeft;
+    }
+    if (all) {
+      last = (sim.now() - start).seconds();
+      break;
+    }
+  }
+  EXPECT_GE(last, 0.0) << "leave never fully disseminated at n=" << n;
+  return last;
+}
+
+TEST(Dissemination, CompletesWithinSecondsAndScalesGently) {
+  // SWIM's promise: full dissemination grows ~logarithmically with n. We
+  // check the practical corollary: even 8x more members costs only a small
+  // constant factor, and everything finishes within a few seconds.
+  const double t16 = dissemination_time(16, 901);
+  const double t128 = dissemination_time(128, 907);
+  EXPECT_LT(t16, 5.0);
+  EXPECT_LT(t128, 8.0);
+  EXPECT_LT(t128, t16 * 6.0 + 2.0) << "dissemination scaling is not gentle";
+}
+
+TEST(Dissemination, RefutationSupersedesQueuedSuspicion) {
+  // A node holding a queued suspect broadcast about m must replace it when
+  // the refutation (higher-incarnation alive) arrives: the broadcast queue
+  // keys by member.
+  auto sim = make(2, 911);
+  sim.node(0).start();
+  sim.run_for(msec(10));
+  auto& node = sim.node(0);
+
+  auto inject = [&](const proto::Message& m) {
+    const auto bytes = proto::encode_datagram(m);
+    node.on_packet(sim::sim_address(1), bytes, Channel::kUdp);
+  };
+  inject(proto::Alive{"m", 0, Address{90, 1}});
+  // The join enqueued one broadcast about "m"; all later updates about "m"
+  // must REPLACE it (queue keys by member), never accumulate.
+  const auto before = node.pending_broadcasts();
+  inject(proto::Suspect{"m", 0, "accuser"});
+  EXPECT_EQ(node.pending_broadcasts(), before);  // suspect replaced the alive
+  EXPECT_EQ(node.state_of("m"), swim::MemberState::kSuspect);
+  inject(proto::Alive{"m", 1, Address{90, 1}});
+  EXPECT_EQ(node.pending_broadcasts(), before);  // refutation replaced it
+  EXPECT_EQ(node.state_of("m"), swim::MemberState::kAlive);
+}
+
+TEST(Dissemination, PacketsRespectMtu) {
+  // Generate heavy churn and verify no datagram ever exceeds the configured
+  // packet size (the piggyback budget discipline).
+  swim::Config cfg = swim::Config::lifeguard();
+  cfg.max_packet_bytes = 512;
+  sim::SimParams p;
+  p.seed = 913;
+  sim::Simulator sim(32, cfg, p);
+  sim.start_all();
+  sim.run_for(sec(10));
+  // Churn: crash a few nodes to flood the gossip queues.
+  sim.crash_node(3);
+  sim.crash_node(4);
+  sim.run_for(sec(20));
+  // UDP bytes/messages ratio bounds the average; the real assertion is the
+  // per-send cap, which we verify via the compound builder going through
+  // max_packet_bytes — here we sanity-check the aggregate ratio.
+  const Metrics m = sim.aggregate_metrics();
+  const auto msgs = m.counter_value("net.msgs_sent");
+  const auto bytes = m.counter_value("net.bytes_sent");
+  ASSERT_GT(msgs, 0);
+  // Push-pull state syncs ride the reliable channel and may exceed the UDP
+  // MTU; exclude them via the type counters.
+  const auto pp = m.counter_value("net.sent.push-pull-req") +
+                  m.counter_value("net.sent.push-pull-resp");
+  EXPECT_LT(static_cast<double>(bytes) / static_cast<double>(msgs),
+            512.0 + static_cast<double>(pp * 4096) / static_cast<double>(msgs))
+      << "average datagram size implies MTU violations";
+}
+
+TEST(Dissemination, JoinFloodsThroughGossipNotJustSeed) {
+  // A join learned by the seed must reach members that never talked to the
+  // joiner, via alive re-gossip.
+  auto sim = make(24, 917);
+  for (int i = 0; i < 23; ++i) sim.node(i).start();
+  for (int i = 1; i < 23; ++i) sim.node(i).join({sim::sim_address(0)});
+  sim.run_for(sec(12));
+  ASSERT_EQ(sim.node(7).members().num_active(), 23);
+
+  sim.node(23).start();
+  sim.node(23).join({sim::sim_address(0)});  // only node-0 is contacted
+  sim.run_for(sec(5));
+  int know_it = 0;
+  for (int i = 0; i < 23; ++i) {
+    const auto st = sim.node(i).state_of("node-23");
+    know_it += st.has_value() && *st == swim::MemberState::kAlive ? 1 : 0;
+  }
+  EXPECT_EQ(know_it, 23) << "join did not flood via gossip";
+}
+
+}  // namespace
+}  // namespace lifeguard

@@ -1,0 +1,85 @@
+// Integration: network partitions — both halves keep operating, and
+// push-pull anti-entropy re-merges the views after healing (the SWIM/
+// memberlist robustness property the paper's §II relies on).
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace lifeguard {
+namespace {
+
+sim::Simulator make(int n, std::uint64_t seed) {
+  sim::SimParams p;
+  p.seed = seed;
+  return sim::Simulator(n, swim::Config::lifeguard(), p);
+}
+
+TEST(Partition, HalvesDeclareEachOtherDeadThenMerge) {
+  auto sim = make(16, 201);
+  sim.start_all();
+  sim.run_for(sec(15));
+  ASSERT_TRUE(sim.converged(16));
+
+  // Split 0-7 | 8-15.
+  for (int i = 0; i < 16; ++i) {
+    sim.network().set_partition(i, i < 8 ? 1 : 2);
+  }
+  // Long enough for suspicion (~Max = 6·5·log10(16) ≈ 36 s) to expire.
+  sim.run_for(sec(60));
+  // Each side sees only its half alive.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(sim.node(i).members().num_active(), 8) << "node " << i;
+  }
+
+  sim.network().heal();
+  // Healing relies on push-pull (30 s period) plus refutation gossip.
+  sim.run_for(sec(90));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(sim.node(i).members().num_active(), 16)
+        << "node " << i << " did not re-merge";
+  }
+}
+
+TEST(Partition, MinorityIslandRejoins) {
+  auto sim = make(12, 203);
+  sim.start_all();
+  sim.run_for(sec(15));
+  ASSERT_TRUE(sim.converged(12));
+
+  // Isolate four nodes. Their probes of the majority all fail, so LHA-Probe
+  // backs their probe rate off up to 9x; with four island members the
+  // independent suspicions still collapse the timeouts to Min. Give the
+  // island time to work through declaring all eight unreachable members.
+  for (int i = 8; i < 12; ++i) sim.network().set_partition(i, 7);
+  sim.run_for(sec(120));
+  EXPECT_EQ(sim.node(10).members().num_active(), 4);
+  EXPECT_EQ(sim.node(0).members().num_active(), 8);
+
+  sim.network().heal();
+  sim.run_for(sec(90));
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(sim.node(i).members().num_active(), 12) << "node " << i;
+  }
+}
+
+TEST(Partition, IncarnationsAdvanceAcrossHeal) {
+  // Members declared dead by the other side must refute with higher
+  // incarnations on heal; nobody may end up permanently dead.
+  auto sim = make(10, 207);
+  sim.start_all();
+  sim.run_for(sec(15));
+  ASSERT_TRUE(sim.converged(10));
+  sim.network().set_partition(9, 3);
+  sim.run_for(sec(60));
+  sim.network().heal();
+  sim.run_for(sec(90));
+  EXPECT_GE(sim.node(9).incarnation(), 1u);
+  for (int i = 0; i < 10; ++i) {
+    const auto st = sim.node(i).state_of("node-9");
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(*st, swim::MemberState::kAlive) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lifeguard

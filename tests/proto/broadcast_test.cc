@@ -1,0 +1,133 @@
+// Transmit-limited broadcast queue invariants.
+#include "proto/broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace lifeguard::proto {
+namespace {
+
+std::vector<std::uint8_t> frame(char tag, std::size_t len = 8) {
+  return std::vector<std::uint8_t>(len, static_cast<std::uint8_t>(tag));
+}
+
+TEST(RetransmitLimit, MatchesFormula) {
+  // λ·⌈log10(n+1)⌉
+  EXPECT_EQ(retransmit_limit(4, 0), 4);
+  EXPECT_EQ(retransmit_limit(4, 9), 4);
+  EXPECT_EQ(retransmit_limit(4, 10), 8);     // log10(11) -> ceil = 2
+  EXPECT_EQ(retransmit_limit(4, 99), 8);
+  EXPECT_EQ(retransmit_limit(4, 128), 12);   // ceil(log10(129)) = 3
+  EXPECT_EQ(retransmit_limit(3, 128), 9);
+  EXPECT_EQ(retransmit_limit(4, 6000), 16);  // ceil(log10(6001)) = 4
+}
+
+TEST(BroadcastQueue, DrainsToTransmitLimit) {
+  BroadcastQueue q(1);  // limit = 1·ceil(log10(n+1))
+  q.queue("m", frame('a'));
+  const int n = 128;  // limit 3
+  int handed_out = 0;
+  for (int i = 0; i < 10; ++i) {
+    handed_out += static_cast<int>(q.get_broadcasts(0, 1000, n).size());
+  }
+  EXPECT_EQ(handed_out, 3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_transmits(), 3);
+}
+
+TEST(BroadcastQueue, NewUpdateInvalidatesOld) {
+  BroadcastQueue q(4);
+  q.queue("m", frame('a'));
+  q.queue("m", frame('b'));  // supersedes 'a'
+  EXPECT_EQ(q.pending(), 1u);
+  auto out = q.get_broadcasts(0, 1000, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], 'b');
+}
+
+TEST(BroadcastQueue, InvalidateRemoves) {
+  BroadcastQueue q(4);
+  q.queue("m1", frame('a'));
+  q.queue("m2", frame('b'));
+  q.invalidate("m1");
+  EXPECT_EQ(q.pending(), 1u);
+  auto out = q.get_broadcasts(0, 1000, 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], 'b');
+}
+
+TEST(BroadcastQueue, PrefersFewestTransmits) {
+  BroadcastQueue q(4);  // n=128 -> limit 12, won't exhaust here
+  q.queue("old", frame('o'));
+  // Transmit 'old' twice with a tiny budget that fits only one frame.
+  const std::size_t budget = 10;
+  (void)q.get_broadcasts(0, budget, 128);
+  (void)q.get_broadcasts(0, budget, 128);
+  q.queue("new", frame('n'));
+  // The never-transmitted 'new' frame must now win the single slot.
+  auto out = q.get_broadcasts(0, budget, 128);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], 'n');
+}
+
+TEST(BroadcastQueue, TiesBrokenNewestFirst) {
+  BroadcastQueue q(4);
+  q.queue("a", frame('a'));
+  q.queue("b", frame('b'));  // same transmit count (0), newer
+  auto out = q.get_broadcasts(0, 10, 128);  // budget fits one
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], 'b');
+}
+
+TEST(BroadcastQueue, RespectsByteBudget) {
+  BroadcastQueue q(4);
+  q.queue("big", frame('B', 500));
+  q.queue("small", frame('s', 10));
+  // Budget fits the small frame only; the big one is skipped, not dropped.
+  auto out = q.get_broadcasts(0, 50, 128);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0], 's');
+  EXPECT_EQ(q.pending(), 2u);  // both still queued (small not at limit)
+}
+
+TEST(BroadcastQueue, SkipsOversizedButPacksLaterFrames) {
+  BroadcastQueue q(4);
+  q.queue("a", frame('a', 100));
+  q.queue("b", frame('b', 100));
+  q.queue("c", frame('c', 10));
+  // Budget fits one 100-byte frame plus the 10-byte one.
+  auto out = q.get_broadcasts(0, 120, 128);
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(BroadcastQueue, PerFrameOverheadCounted) {
+  BroadcastQueue q(4);
+  q.queue("a", frame('a', 10));
+  // frame(10) + overhead base 5 + varint(1) = 16 > budget 15 -> nothing fits.
+  auto out = q.get_broadcasts(5, 15, 128);
+  EXPECT_TRUE(out.empty());
+  out = q.get_broadcasts(5, 16, 128);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(BroadcastQueue, EveryQueuedFrameEventuallyTransmitsExactlyLimitTimes) {
+  // Property over a batch: with ample budget, each of k frames is handed out
+  // exactly `limit` times, no more, no matter how often we drain.
+  BroadcastQueue q(2);
+  const int n = 50;  // limit = 2·ceil(log10(51)) = 4
+  const int limit = retransmit_limit(2, n);
+  std::map<char, int> counts;
+  for (char c = 'a'; c < 'a' + 10; ++c) q.queue(std::string(1, c), frame(c));
+  for (int round = 0; round < 100; ++round) {
+    for (const auto& f : q.get_broadcasts(0, 10'000, n)) ++counts[static_cast<char>(f[0])];
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [tag, cnt] : counts) {
+    EXPECT_EQ(cnt, limit) << tag;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace lifeguard::proto

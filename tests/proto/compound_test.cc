@@ -1,0 +1,86 @@
+// Compound (piggyback container) packing and unpacking.
+#include <gtest/gtest.h>
+
+#include "proto/wire.h"
+
+namespace lifeguard::proto {
+namespace {
+
+std::vector<std::uint8_t> frame(const Message& m) {
+  return encode_datagram(m);
+}
+
+TEST(Compound, SingleFrameHasNoWrapper) {
+  auto f = frame(Ack{1, "a"});
+  auto packed = pack_compound({f});
+  EXPECT_EQ(packed, f);
+
+  std::vector<std::span<const std::uint8_t>> frames;
+  ASSERT_TRUE(unpack_compound(packed, frames));
+  ASSERT_EQ(frames.size(), 1u);
+  BufReader r(frames[0]);
+  auto msg = decode(r);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<Ack>(*msg).seq, 1u);
+}
+
+TEST(Compound, MultiFrameRoundTripPreservesOrder) {
+  std::vector<std::vector<std::uint8_t>> in{
+      frame(Suspect{"m1", 1, "a"}),
+      frame(Alive{"m2", 2, Address{1, 1}}),
+      frame(Ping{3, "m3", "me", Address{2, 2}}),
+  };
+  auto packed = pack_compound(in);
+
+  std::vector<std::span<const std::uint8_t>> out;
+  ASSERT_TRUE(unpack_compound(packed, out));
+  ASSERT_EQ(out.size(), 3u);
+  // Order must be preserved: buddy relies on the suspect preceding the ping.
+  BufReader r0(out[0]);
+  EXPECT_EQ(message_type(*decode(r0)), MsgType::kSuspect);
+  BufReader r1(out[1]);
+  EXPECT_EQ(message_type(*decode(r1)), MsgType::kAlive);
+  BufReader r2(out[2]);
+  EXPECT_EQ(message_type(*decode(r2)), MsgType::kPing);
+}
+
+TEST(Compound, ManySmallFrames) {
+  std::vector<std::vector<std::uint8_t>> in;
+  for (int i = 0; i < 200; ++i) {
+    in.push_back(frame(Suspect{"m" + std::to_string(i),
+                               static_cast<std::uint64_t>(i), "x"}));
+  }
+  auto packed = pack_compound(in);
+  std::vector<std::span<const std::uint8_t>> out;
+  ASSERT_TRUE(unpack_compound(packed, out));
+  ASSERT_EQ(out.size(), 200u);
+  BufReader r(out[137]);
+  EXPECT_EQ(std::get<Suspect>(*decode(r)).incarnation, 137u);
+}
+
+TEST(Compound, UnpackRejectsEmpty) {
+  std::vector<std::span<const std::uint8_t>> out;
+  EXPECT_FALSE(unpack_compound({}, out));
+}
+
+TEST(Compound, UnpackRejectsTruncatedContainer) {
+  auto packed = pack_compound({frame(Ack{1, "a"}), frame(Ack{2, "b"})});
+  std::vector<std::span<const std::uint8_t>> out;
+  for (std::size_t len = 1; len < packed.size(); ++len) {
+    // Any truncation of the container must be rejected (or, if it cuts at a
+    // frame boundary... it can't: the count header says two frames).
+    EXPECT_FALSE(unpack_compound(
+        std::span<const std::uint8_t>(packed.data(), len), out))
+        << "length " << len;
+  }
+}
+
+TEST(Compound, FrameOverheadMatchesVarintWidth) {
+  EXPECT_EQ(compound_frame_overhead(0), 1u);
+  EXPECT_EQ(compound_frame_overhead(127), 1u);
+  EXPECT_EQ(compound_frame_overhead(128), 2u);
+  EXPECT_EQ(compound_frame_overhead(20000), 3u);
+}
+
+}  // namespace
+}  // namespace lifeguard::proto

@@ -1,0 +1,116 @@
+// Anomaly schedules: threshold, interval and stress shapes.
+#include "sim/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lifeguard::sim {
+namespace {
+
+Simulator make_sim(int n = 8) {
+  SimParams p;
+  p.seed = 21;
+  return Simulator(n, swim::Config::lifeguard(), p);
+}
+
+TEST(Anomaly, PickVictimsDistinctAndInRange) {
+  auto sim = make_sim(10);
+  const auto v = pick_victims(sim, 4);
+  EXPECT_EQ(v.size(), 4u);
+  std::set<int> set(v.begin(), v.end());
+  EXPECT_EQ(set.size(), 4u);
+  for (int i : v) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 10);
+  }
+}
+
+TEST(Anomaly, PickVictimsClampsToClusterSize) {
+  auto sim = make_sim(3);
+  EXPECT_EQ(pick_victims(sim, 99).size(), 3u);
+}
+
+TEST(Anomaly, ThresholdBlocksAndUnblocksOnSchedule) {
+  auto sim = make_sim();
+  const std::vector<int> victims{1, 3};
+  schedule_threshold_anomaly(sim, victims, TimePoint{} + sec(1), sec(2));
+
+  sim.run_for(msec(500));
+  EXPECT_FALSE(sim.is_blocked(1));
+  sim.run_for(sec(1));  // t = 1.5 s: inside the anomaly
+  EXPECT_TRUE(sim.is_blocked(1));
+  EXPECT_TRUE(sim.is_blocked(3));
+  EXPECT_FALSE(sim.is_blocked(0));
+  sim.run_for(sec(2));  // t = 3.5 s: past the end
+  EXPECT_FALSE(sim.is_blocked(1));
+  EXPECT_FALSE(sim.is_blocked(3));
+}
+
+TEST(Anomaly, IntervalCyclesInLockstep) {
+  auto sim = make_sim();
+  const std::vector<int> victims{0, 2};
+  // 1 s blocked / 1 s open, for 5 s.
+  schedule_interval_anomaly(sim, victims, TimePoint{} + sec(1), sec(1), sec(1),
+                            TimePoint{} + sec(6));
+  struct Sample {
+    double t;
+    bool expect_blocked;
+  };
+  const Sample samples[] = {{0.5, false}, {1.5, true}, {2.5, false},
+                            {3.5, true},  {4.5, false}, {5.5, true},
+                            {7.5, false}};
+  TimePoint cursor{};
+  for (const auto& s : samples) {
+    sim.run_until(TimePoint{} + sec_f(s.t));
+    EXPECT_EQ(sim.is_blocked(0), s.expect_blocked) << "t=" << s.t;
+    EXPECT_EQ(sim.is_blocked(2), s.expect_blocked) << "t=" << s.t;
+    cursor = TimePoint{} + sec_f(s.t);
+  }
+  (void)cursor;
+}
+
+TEST(Anomaly, IntervalFinishesLastCycleBeyondEnd) {
+  auto sim = make_sim();
+  // Cycle = 3 s blocked + 1 s open; end at t=5 : cycles start at 0 and 4,
+  // the second one runs past `end` to completion (paper §V-D2).
+  schedule_interval_anomaly(sim, {1}, TimePoint{}, sec(3), sec(1),
+                            TimePoint{} + sec(5));
+  sim.run_until(TimePoint{} + sec_f(6.5));
+  EXPECT_TRUE(sim.is_blocked(1));  // second anomaly: 4 s .. 7 s
+  sim.run_until(TimePoint{} + sec_f(7.5));
+  EXPECT_FALSE(sim.is_blocked(1));
+}
+
+TEST(Anomaly, StressCyclesIndependentlyAndEndsUnblocked) {
+  auto sim = make_sim();
+  StressParams p;
+  p.block_min = msec(100);
+  p.block_max = msec(300);
+  p.run_min = msec(10);
+  p.run_max = msec(50);
+  schedule_stress_anomaly(sim, {0, 1}, TimePoint{} + sec(1),
+                          TimePoint{} + sec(10), p);
+
+  // Sample densely: each victim must toggle multiple times, and the two
+  // victims' schedules must not be identical (independent randomness).
+  int blocked_samples_0 = 0, blocked_samples_1 = 0, divergent = 0;
+  for (int i = 0; i < 800; ++i) {
+    sim.run_for(msec(10));
+    const bool b0 = sim.is_blocked(0);
+    const bool b1 = sim.is_blocked(1);
+    blocked_samples_0 += b0 ? 1 : 0;
+    blocked_samples_1 += b1 ? 1 : 0;
+    divergent += b0 != b1 ? 1 : 0;
+  }
+  EXPECT_GT(blocked_samples_0, 100);
+  EXPECT_GT(blocked_samples_1, 100);
+  EXPECT_GT(divergent, 20);
+  sim.run_until(TimePoint{} + sec(12));
+  EXPECT_FALSE(sim.is_blocked(0));
+  EXPECT_FALSE(sim.is_blocked(1));
+  EXPECT_FALSE(sim.is_blocked(2));  // never touched
+}
+
+}  // namespace
+}  // namespace lifeguard::sim

@@ -1,0 +1,113 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lifeguard::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(TimePoint{300}, [&] { order.push_back(3); });
+  q.push(TimePoint{100}, [&] { order.push_back(1); });
+  q.push(TimePoint{200}, [&] { order.push_back(2); });
+  TimePoint now{};
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(now, TimePoint{300});
+}
+
+TEST(EventQueue, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(TimePoint{50}, [&order, i] { order.push_back(i); });
+  }
+  TimePoint now{};
+  while (q.run_next(now)) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSuppressesEvent) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.push(TimePoint{10}, [&] { ++fired; });
+  q.push(TimePoint{20}, [&] { fired += 10; });
+  q.cancel(id);
+  TimePoint now{};
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, CancelUnknownOrFiredIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.push(TimePoint{1}, [&] { ++fired; });
+  TimePoint now{};
+  q.run_next(now);
+  q.cancel(id);      // already fired
+  q.cancel(0);       // invalid handle
+  q.cancel(999999);  // never issued
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, HandlerMayPushMoreEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(TimePoint{10}, [&] {
+    order.push_back(1);
+    q.push(TimePoint{10}, [&] { order.push_back(2); });  // same timestamp
+    q.push(TimePoint{5}, [&] { order.push_back(3); });   // in the past
+  });
+  TimePoint now{};
+  while (q.run_next(now)) {
+  }
+  // Events pushed for "now" or the past run after the current one, FIFO.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+}
+
+TEST(EventQueue, PendingAndExecutedCounts) {
+  EventQueue q;
+  const auto a = q.push(TimePoint{1}, [] {});
+  q.push(TimePoint{2}, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  TimePoint now{};
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(q.executed(), 1u);
+  EXPECT_FALSE(q.run_next(now));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const auto a = q.push(TimePoint{5}, [] {});
+  q.push(TimePoint{9}, [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.next_time(), TimePoint{9});
+}
+
+TEST(EventQueue, StressManyEvents) {
+  EventQueue q;
+  std::int64_t sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    q.push(TimePoint{(i * 7919) % 1000}, [&sum, i] { sum += i; });
+  }
+  TimePoint now{}, prev{};
+  while (q.run_next(now)) {
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_EQ(sum, 100'000LL * 99'999 / 2);
+}
+
+}  // namespace
+}  // namespace lifeguard::sim

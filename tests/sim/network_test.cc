@@ -1,0 +1,77 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace lifeguard::sim {
+namespace {
+
+TEST(Network, LatencyWithinConfiguredRange) {
+  NetworkParams p;
+  p.latency_min = msec(1);
+  p.latency_max = msec(5);
+  Network net(p, 4, Rng(1));
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = net.sample_latency();
+    EXPECT_GE(d, msec(1));
+    EXPECT_LE(d, msec(5));
+  }
+}
+
+TEST(Network, DegenerateLatencyRange) {
+  NetworkParams p;
+  p.latency_min = msec(3);
+  p.latency_max = msec(1);  // max < min: clamped to min
+  Network net(p, 2, Rng(2));
+  EXPECT_EQ(net.sample_latency(), msec(3));
+}
+
+TEST(Network, NoLossByDefault) {
+  Network net(NetworkParams{}, 4, Rng(3));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(net.should_drop(0, 1, Channel::kUdp));
+  }
+}
+
+TEST(Network, UdpLossRateApproximatelyHonored) {
+  NetworkParams p;
+  p.udp_loss = 0.2;
+  Network net(p, 2, Rng(4));
+  int dropped = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    dropped += net.should_drop(0, 1, Channel::kUdp) ? 1 : 0;
+  }
+  EXPECT_NEAR(dropped, 2000, 250);
+  EXPECT_EQ(net.metrics().counter_value("net.dropped.loss"), dropped);
+}
+
+TEST(Network, ReliableChannelNeverRandomlyDropped) {
+  NetworkParams p;
+  p.udp_loss = 1.0;  // drop all UDP
+  Network net(p, 2, Rng(5));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(net.should_drop(0, 1, Channel::kUdp));
+    EXPECT_FALSE(net.should_drop(0, 1, Channel::kReliable));
+  }
+}
+
+TEST(Network, PartitionsBlockBothChannelsAndHeal) {
+  Network net(NetworkParams{}, 4, Rng(6));
+  net.set_partition(0, 1);
+  net.set_partition(1, 1);
+  // Within a partition: fine. Across: dropped, both channels.
+  EXPECT_FALSE(net.should_drop(0, 1, Channel::kUdp));
+  EXPECT_TRUE(net.should_drop(0, 2, Channel::kUdp));
+  EXPECT_TRUE(net.should_drop(2, 0, Channel::kReliable));
+  EXPECT_FALSE(net.should_drop(2, 3, Channel::kUdp));
+  net.heal();
+  EXPECT_FALSE(net.should_drop(0, 2, Channel::kUdp));
+}
+
+TEST(Network, OutOfRangeNodesDrop) {
+  Network net(NetworkParams{}, 2, Rng(7));
+  EXPECT_TRUE(net.should_drop(0, 5, Channel::kUdp));
+  EXPECT_TRUE(net.should_drop(9, 0, Channel::kUdp));
+}
+
+}  // namespace
+}  // namespace lifeguard::sim

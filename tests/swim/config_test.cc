@@ -1,0 +1,61 @@
+// Configuration presets mirror the paper's Table I.
+#include "swim/config.h"
+
+#include <gtest/gtest.h>
+
+namespace lifeguard::swim {
+namespace {
+
+TEST(Config, DefaultsMatchPaper) {
+  const Config c;
+  EXPECT_EQ(c.probe_interval, sec(1));      // BaseProbeInterval (§IV-A)
+  EXPECT_EQ(c.probe_timeout, msec(500));    // BaseProbeTimeout (§IV-A)
+  EXPECT_EQ(c.lhm_max, 8);                  // S
+  EXPECT_EQ(c.suspicion_k, 3);              // K
+  EXPECT_EQ(c.indirect_checks, 3);          // k
+  EXPECT_DOUBLE_EQ(c.nack_fraction, 0.8);
+}
+
+TEST(Config, SwimBaselineDisablesAllComponents) {
+  const Config c = Config::swim_baseline();
+  EXPECT_FALSE(c.lha_probe);
+  EXPECT_FALSE(c.lha_suspicion);
+  EXPECT_FALSE(c.buddy_system);
+  // Fixed suspicion timeout: α = 5, β = 1 (paper §V-C).
+  EXPECT_DOUBLE_EQ(c.suspicion_alpha, 5.0);
+  EXPECT_DOUBLE_EQ(c.suspicion_beta, 1.0);
+  EXPECT_EQ(c.table1_name(), "SWIM");
+}
+
+TEST(Config, LifeguardEnablesAll) {
+  const Config c = Config::lifeguard();
+  EXPECT_TRUE(c.lha_probe);
+  EXPECT_TRUE(c.lha_suspicion);
+  EXPECT_TRUE(c.buddy_system);
+  EXPECT_EQ(c.table1_name(), "Lifeguard");
+}
+
+TEST(Config, SingleComponentPresets) {
+  EXPECT_EQ(Config::lha_probe_only().table1_name(), "LHA-Probe");
+  EXPECT_EQ(Config::lha_suspicion_only().table1_name(), "LHA-Suspicion");
+  EXPECT_EQ(Config::buddy_only().table1_name(), "Buddy System");
+
+  const Config p = Config::lha_probe_only();
+  EXPECT_TRUE(p.lha_probe);
+  EXPECT_FALSE(p.lha_suspicion);
+  EXPECT_FALSE(p.buddy_system);
+
+  const Config s = Config::lha_suspicion_only();
+  EXPECT_FALSE(s.lha_probe);
+  EXPECT_TRUE(s.lha_suspicion);
+  EXPECT_DOUBLE_EQ(s.suspicion_beta, 6.0);
+}
+
+TEST(Config, CustomComboIsNamedCustom) {
+  Config c = Config::lifeguard();
+  c.buddy_system = false;
+  EXPECT_EQ(c.table1_name(), "Custom");
+}
+
+}  // namespace
+}  // namespace lifeguard::swim

@@ -1,0 +1,88 @@
+// Local Health Multiplier (paper §IV-A) — saturation and scaling.
+#include "swim/local_health.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace lifeguard::swim {
+namespace {
+
+TEST(LocalHealth, StartsAtZero) {
+  LocalHealth h(8, true);
+  EXPECT_EQ(h.score(), 0);
+  EXPECT_EQ(h.multiplier(), 1);
+  EXPECT_EQ(h.scale(sec(1)), sec(1));
+}
+
+TEST(LocalHealth, EventDeltasMatchPaper) {
+  LocalHealth h(8, true);
+  h.probe_failed();         // +1
+  EXPECT_EQ(h.score(), 1);
+  h.refuted_suspicion();    // +1
+  EXPECT_EQ(h.score(), 2);
+  h.missed_nack();          // +1
+  EXPECT_EQ(h.score(), 3);
+  h.probe_success();        // -1
+  EXPECT_EQ(h.score(), 2);
+}
+
+TEST(LocalHealth, SaturatesAtSAndZero) {
+  LocalHealth h(8, true);
+  for (int i = 0; i < 50; ++i) h.probe_failed();
+  EXPECT_EQ(h.score(), 8);
+  EXPECT_EQ(h.multiplier(), 9);
+  for (int i = 0; i < 50; ++i) h.probe_success();
+  EXPECT_EQ(h.score(), 0);
+  EXPECT_EQ(h.multiplier(), 1);
+}
+
+TEST(LocalHealth, PaperDefaultsScaleTo9xAnd4_5s) {
+  // S = 8: probe interval backs off to 9 s and timeout to 4.5 s (§IV-A).
+  LocalHealth h(8, true);
+  for (int i = 0; i < 20; ++i) h.probe_failed();
+  EXPECT_EQ(h.scale(sec(1)), sec(9));
+  EXPECT_EQ(h.scale(msec(500)), msec(4500));
+}
+
+TEST(LocalHealth, DisabledPinsMultiplierAtOne) {
+  LocalHealth h(8, false);
+  for (int i = 0; i < 20; ++i) {
+    h.probe_failed();
+    h.missed_nack();
+    h.refuted_suspicion();
+  }
+  EXPECT_EQ(h.score(), 0);
+  EXPECT_EQ(h.multiplier(), 1);
+  EXPECT_EQ(h.scale(sec(1)), sec(1));
+  EXPECT_FALSE(h.enabled());
+}
+
+TEST(LocalHealth, CustomSaturationLimit) {
+  LocalHealth h(2, true);
+  for (int i = 0; i < 10; ++i) h.probe_failed();
+  EXPECT_EQ(h.score(), 2);
+  EXPECT_EQ(h.multiplier(), 3);
+}
+
+TEST(LocalHealth, PropertyRandomWalkStaysInBounds) {
+  // Property: under any event sequence the score remains in [0, S].
+  lifeguard::Rng rng(3);
+  for (int s : {1, 4, 8, 16}) {
+    LocalHealth h(s, true);
+    for (int i = 0; i < 5000; ++i) {
+      switch (rng.uniform(4)) {
+        case 0: h.probe_success(); break;
+        case 1: h.probe_failed(); break;
+        case 2: h.missed_nack(); break;
+        case 3: h.refuted_suspicion(); break;
+      }
+      ASSERT_GE(h.score(), 0);
+      ASSERT_LE(h.score(), s);
+      ASSERT_EQ(h.multiplier(), h.score() + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lifeguard::swim

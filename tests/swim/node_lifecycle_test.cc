@@ -1,0 +1,135 @@
+// Dead-member lifecycle: retention, gossip-to-the-dead, housekeeping reclaim
+// and the Serf-style reconnect that re-merges healed partitions.
+#include <gtest/gtest.h>
+
+#include "proto/wire.h"
+#include "sim/simulator.h"
+
+namespace lifeguard {
+namespace {
+
+using swim::MemberState;
+
+sim::Simulator make(int n, swim::Config cfg, std::uint64_t seed) {
+  sim::SimParams p;
+  p.seed = seed;
+  return sim::Simulator(n, cfg, p);
+}
+
+TEST(Lifecycle, DeadMembersAreRetainedThenReclaimed) {
+  swim::Config cfg = swim::Config::lifeguard();
+  cfg.dead_reclaim_after = sec(40);
+  auto sim = make(8, cfg, 401);
+  sim.start_all();
+  sim.run_for(sec(10));
+  ASSERT_TRUE(sim.converged(8));
+
+  sim.crash_node(3);
+  sim.run_for(sec(30));
+  // Declared dead but still known (retention window).
+  ASSERT_TRUE(sim.node(0).state_of("node-3").has_value());
+  EXPECT_EQ(sim.node(0).state_of("node-3"), MemberState::kDead);
+
+  sim.run_for(sec(80));  // housekeeping ticks at reclaim/2 cadence
+  EXPECT_FALSE(sim.node(0).state_of("node-3").has_value())
+      << "dead member should have been reclaimed";
+  EXPECT_GT(sim.node(0).metrics().counter_value("swim.reclaimed"), 0);
+}
+
+TEST(Lifecycle, ZeroReclaimKeepsDeadForever) {
+  swim::Config cfg = swim::Config::lifeguard();
+  cfg.dead_reclaim_after = Duration{0};
+  auto sim = make(8, cfg, 403);
+  sim.start_all();
+  sim.run_for(sec(10));
+  sim.crash_node(3);
+  sim.run_for(sec(120));
+  EXPECT_TRUE(sim.node(0).state_of("node-3").has_value());
+}
+
+TEST(Lifecycle, GossipReachesTheRecentlyDead) {
+  // A member falsely declared dead must keep receiving gossip for the
+  // gossip_to_dead window so it can hear of its death and refute. Verify the
+  // window's effect: a long-blocked node that returns inside the window
+  // refutes quickly.
+  auto sim = make(16, swim::Config::swim_baseline(), 405);
+  sim.start_all();
+  sim.run_for(sec(12));
+  ASSERT_TRUE(sim.converged(16));
+
+  sim.block_node(5);
+  sim.run_for(sec(25));  // suspicion (~6 s) + timeout (~6 s): declared dead
+  ASSERT_EQ(sim.node(0).state_of("node-5"), MemberState::kDead);
+  sim.unblock_node(5);
+  sim.run_for(sec(20));
+  EXPECT_EQ(sim.node(0).state_of("node-5"), MemberState::kAlive)
+      << "dead member could not refute: gossip-to-the-dead failed";
+  EXPECT_GE(sim.node(5).incarnation(), 1u);
+}
+
+TEST(Lifecycle, ReconnectTicksTargetDeadMembers) {
+  auto sim = make(8, swim::Config::lifeguard(), 407);
+  sim.start_all();
+  sim.run_for(sec(10));
+  // Partition node 6 away; after it is declared dead, reconnect attempts
+  // (push-pull to a dead member) must be recorded at the survivors.
+  sim.network().set_partition(6, 3);
+  sim.run_for(sec(90));
+  std::int64_t attempts = 0;
+  for (int i = 0; i < 6; ++i) {
+    attempts += sim.node(i).metrics().counter_value("sync.reconnect_attempts");
+  }
+  EXPECT_GT(attempts, 0);
+}
+
+TEST(Lifecycle, StoppedNodeGoesQuiet) {
+  auto sim = make(4, swim::Config::lifeguard(), 409);
+  sim.start_all();
+  sim.run_for(sec(5));
+  auto& n0 = sim.node(0);
+  n0.stop();
+  EXPECT_FALSE(n0.running());
+  const auto msgs_before = n0.metrics().counter_value("net.msgs_sent");
+  sim.run_for(sec(10));
+  EXPECT_EQ(n0.metrics().counter_value("net.msgs_sent"), msgs_before);
+  // Stop is idempotent.
+  n0.stop();
+  EXPECT_FALSE(n0.running());
+}
+
+TEST(Lifecycle, LeaverDoesNotRefuteItsOwnDeparture) {
+  auto sim = make(6, swim::Config::lifeguard(), 411);
+  sim.start_all();
+  sim.run_for(sec(8));
+  ASSERT_TRUE(sim.converged(6));
+  const auto inc_before = sim.node(2).incarnation();
+  sim.node(2).leave();
+  sim.run_for(sec(10));
+  // Everyone sees it as left, and the leaver never bumped its incarnation to
+  // fight the dead-about-self messages echoing back.
+  for (int i = 0; i < 6; ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(sim.node(i).state_of("node-2"), MemberState::kLeft);
+  }
+  EXPECT_EQ(sim.node(2).incarnation(), inc_before);
+}
+
+TEST(Lifecycle, RejoinAfterLeaveWithHigherIncarnation) {
+  auto sim = make(6, swim::Config::lifeguard(), 413);
+  sim.start_all();
+  sim.run_for(sec(8));
+  sim.node(2).leave();
+  sim.run_for(sec(8));
+  ASSERT_EQ(sim.node(0).state_of("node-2"), MemberState::kLeft);
+
+  // A fresh alive at a higher incarnation resurrects the member (operator
+  // restarted the agent).
+  const auto bytes = proto::encode_datagram(
+      proto::Alive{"node-2", sim.node(2).incarnation() + 1,
+                   sim::sim_address(2)});
+  sim.node(0).on_packet(sim::sim_address(2), bytes, Channel::kUdp);
+  EXPECT_EQ(sim.node(0).state_of("node-2"), MemberState::kAlive);
+}
+
+}  // namespace
+}  // namespace lifeguard

@@ -1,0 +1,133 @@
+// Refutation: a suspected/declared-dead node must clear its name via a
+// higher-incarnation alive, and the buddy system must accelerate the moment
+// it learns of the suspicion.
+#include <gtest/gtest.h>
+
+#include "proto/wire.h"
+#include "sim/simulator.h"
+
+namespace lifeguard {
+namespace {
+
+sim::Simulator make(int n, const swim::Config& cfg, std::uint64_t seed) {
+  sim::SimParams p;
+  p.seed = seed;
+  return sim::Simulator(n, cfg, p);
+}
+
+TEST(Refutation, SuspectAboutSelfBumpsIncarnationAndHealth) {
+  auto sim = make(2, swim::Config::lifeguard(), 81);
+  sim.start_all();
+  sim.run_for(sec(2));
+  ASSERT_EQ(sim.node(0).incarnation(), 0u);
+
+  const auto bytes =
+      proto::encode_datagram(proto::Suspect{"node-0", 0, "node-1"});
+  sim.node(0).on_packet(sim::sim_address(1), bytes, Channel::kUdp);
+  EXPECT_EQ(sim.node(0).incarnation(), 1u);
+  EXPECT_EQ(sim.node(0).local_health().score(), 1);  // refute => LHM +1
+  EXPECT_EQ(sim.node(0).metrics().counter_value("swim.refutations"), 1);
+  EXPECT_GT(sim.node(0).pending_broadcasts(), 0u);
+}
+
+TEST(Refutation, StaleSuspectAboutSelfIgnored) {
+  auto sim = make(2, swim::Config::lifeguard(), 83);
+  sim.start_all();
+  sim.run_for(sec(2));
+  // First refutation moves us to incarnation 1; a replay at inc 0 is stale.
+  auto s0 = proto::encode_datagram(proto::Suspect{"node-0", 0, "node-1"});
+  sim.node(0).on_packet(sim::sim_address(1), s0, Channel::kUdp);
+  sim.node(0).on_packet(sim::sim_address(1), s0, Channel::kUdp);
+  EXPECT_EQ(sim.node(0).incarnation(), 1u);
+}
+
+TEST(Refutation, DeadAboutSelfIsRefutedUnlessLeaving) {
+  auto sim = make(2, swim::Config::lifeguard(), 87);
+  sim.start_all();
+  sim.run_for(sec(2));
+  auto d = proto::encode_datagram(proto::Dead{"node-0", 0, "node-1"});
+  sim.node(0).on_packet(sim::sim_address(1), d, Channel::kUdp);
+  EXPECT_EQ(sim.node(0).incarnation(), 1u);
+  EXPECT_EQ(sim.node(0).metrics().counter_value("swim.refuted_death"), 1);
+
+  // While leaving, the same message is accepted silently.
+  sim.node(1).leave();
+  sim.run_for(msec(100));
+  auto d1 = proto::encode_datagram(proto::Dead{"node-1", 5, "node-0"});
+  const auto inc_before = sim.node(1).incarnation();
+  sim.node(1).on_packet(sim::sim_address(0), d1, Channel::kUdp);
+  EXPECT_EQ(sim.node(1).incarnation(), inc_before);
+}
+
+TEST(Refutation, RefutationIncarnationExceedsSuspicion) {
+  auto sim = make(2, swim::Config::lifeguard(), 89);
+  sim.start_all();
+  sim.run_for(sec(2));
+  // Suspected at a (fabricated) high incarnation: the refutation must jump
+  // past it, not just increment once from the local value.
+  auto s = proto::encode_datagram(proto::Suspect{"node-0", 41, "node-1"});
+  sim.node(0).on_packet(sim::sim_address(1), s, Channel::kUdp);
+  EXPECT_EQ(sim.node(0).incarnation(), 42u);
+}
+
+class BuddyParam : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BuddyParam, SuspectedNodeLearnsOfSuspicion) {
+  // Block a node long enough to be suspected, then release it. With or
+  // without buddy it must eventually refute; the mechanism differs (buddy:
+  // first ping carries the suspicion; default: dedicated gossip).
+  const bool buddy = GetParam();
+  swim::Config cfg = swim::Config::swim_baseline();
+  cfg.buddy_system = buddy;
+  auto sim = make(12, cfg, 91);
+  sim.start_all();
+  sim.run_for(sec(12));
+  ASSERT_TRUE(sim.converged(12));
+
+  // Several cycles, each long enough for a suspicion but short of the fixed
+  // timeout (5·log10(12) ≈ 5.4 s): the suspicion window must be wide enough
+  // that some prober's round-robin reaches node-4 while suspecting it.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    sim.block_node(4);
+    sim.run_for(sec_f(4.5));
+    sim.unblock_node(4);
+    sim.run_for(sec(10));
+  }
+
+  EXPECT_GE(sim.node(4).incarnation(), 1u) << "never refuted";
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(sim.node(i).members().num_active(), 12) << "node " << i;
+  }
+  if (buddy) {
+    std::int64_t prioritized = 0;
+    for (int i = 0; i < 12; ++i) {
+      prioritized += sim.node(i).metrics().counter_value("buddy.prioritized");
+    }
+    EXPECT_GT(prioritized, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BuddyOnOff, BuddyParam, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Buddy" : "Default";
+                         });
+
+TEST(Refutation, FlappingNodeIncarnationGrowsMonotonically) {
+  auto sim = make(12, swim::Config::lifeguard(), 97);
+  sim.start_all();
+  sim.run_for(sec(12));
+  std::uint64_t last = sim.node(4).incarnation();
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    sim.block_node(4);
+    sim.run_for(sec(4));
+    sim.unblock_node(4);
+    sim.run_for(sec(6));
+    const std::uint64_t now = sim.node(4).incarnation();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  EXPECT_GT(last, 0u);
+}
+
+}  // namespace
+}  // namespace lifeguard

@@ -1,0 +1,138 @@
+// Anti-entropy push-pull: snapshot contents, merge semantics (including the
+// dead→suspect conversion) and the join path, via direct message injection.
+#include <gtest/gtest.h>
+
+#include "proto/wire.h"
+#include "sim/simulator.h"
+
+namespace lifeguard {
+namespace {
+
+using swim::MemberState;
+
+class NodeSync : public ::testing::Test {
+ protected:
+  NodeSync() : sim_(make()) {
+    node().start();
+    sim_.run_for(msec(10));
+  }
+
+  static sim::Simulator make() {
+    sim::SimParams p;
+    p.seed = 55;
+    return sim::Simulator(2, swim::Config::lifeguard(), p);
+  }
+
+  swim::Node& node() { return sim_.node(0); }
+
+  void inject(const proto::Message& m) {
+    const auto bytes = proto::encode_datagram(m);
+    node().on_packet(sim::sim_address(1), bytes, Channel::kReliable);
+  }
+
+  proto::PushPull make_state(bool response,
+                             std::vector<proto::MemberSnapshot> members) {
+    proto::PushPull p;
+    p.is_response = response;
+    p.join = false;
+    p.from = "node-1";
+    p.from_addr = sim::sim_address(1);
+    p.members = std::move(members);
+    return p;
+  }
+
+  static proto::MemberSnapshot snap(const std::string& name, MemberState st,
+                                    std::uint64_t inc = 0) {
+    return proto::MemberSnapshot{name, Address{50, 1}, inc,
+                                 static_cast<std::uint8_t>(st)};
+  }
+
+  sim::Simulator sim_;
+};
+
+TEST_F(NodeSync, MergeAddsAliveMembers) {
+  inject(make_state(true, {snap("m1", MemberState::kAlive, 4),
+                           snap("m2", MemberState::kAlive, 0)}));
+  EXPECT_EQ(node().state_of("m1"), MemberState::kAlive);
+  EXPECT_EQ(node().state_of("m2"), MemberState::kAlive);
+  EXPECT_EQ(node().members().find("m1")->incarnation, 4u);
+}
+
+TEST_F(NodeSync, MergeConvertsRemoteDeadToSuspicion) {
+  // A remote dead entry must NOT kill the member instantly: it degrades to a
+  // suspicion (memberlist's refutation window).
+  inject(make_state(true, {snap("m1", MemberState::kAlive, 0)}));
+  inject(make_state(true, {snap("m1", MemberState::kDead, 0)}));
+  EXPECT_EQ(node().state_of("m1"), MemberState::kSuspect);
+}
+
+TEST_F(NodeSync, MergeSuspectOnUnknownMemberIgnored) {
+  inject(make_state(true, {snap("ghost", MemberState::kSuspect, 1)}));
+  EXPECT_FALSE(node().state_of("ghost").has_value());
+}
+
+TEST_F(NodeSync, MergeLeftIsAppliedDirectly) {
+  inject(make_state(true, {snap("m1", MemberState::kAlive, 2)}));
+  inject(make_state(true, {snap("m1", MemberState::kLeft, 2)}));
+  EXPECT_EQ(node().state_of("m1"), MemberState::kLeft);
+}
+
+TEST_F(NodeSync, MergeStaleEntriesIgnored) {
+  inject(make_state(true, {snap("m1", MemberState::kAlive, 5)}));
+  inject(make_state(true, {snap("m1", MemberState::kDead, 3)}));   // stale
+  inject(make_state(true, {snap("m1", MemberState::kAlive, 2)}));  // stale
+  EXPECT_EQ(node().state_of("m1"), MemberState::kAlive);
+  EXPECT_EQ(node().members().find("m1")->incarnation, 5u);
+}
+
+TEST_F(NodeSync, RepeatedMergesDoNotManufactureIndependentSuspicions) {
+  // Regression: merge-imported suspicions are attributed to the LOCAL node
+  // (memberlist mergeState), so ten syncs must count as ONE origin and the
+  // LHA-Suspicion timeout must stay at Max, not collapse toward Min.
+  inject(make_state(true, {snap("m1", MemberState::kAlive, 0)}));
+  for (int i = 0; i < 10; ++i) {
+    inject(make_state(true, {snap("m1", MemberState::kSuspect, 0)}));
+  }
+  EXPECT_EQ(node().state_of("m1"), MemberState::kSuspect);
+  // Min = 5 s (n=2 clamps log10 to 1), Max = 30 s. If merges had counted as
+  // independent origins the timeout would have collapsed to ~5 s.
+  sim_.run_for(sec(12));
+  EXPECT_EQ(node().state_of("m1"), MemberState::kSuspect)
+      << "timeout collapsed: merges were counted as independent suspicions";
+  sim_.run_for(sec(25));
+  EXPECT_EQ(node().state_of("m1"), MemberState::kDead);
+}
+
+TEST_F(NodeSync, RequestTriggersResponseWithFullState) {
+  // Prime the node with some members, then send a request and capture the
+  // response at the network layer via node-1's inbox.
+  inject(make_state(true, {snap("m1", MemberState::kAlive, 1),
+                           snap("m2", MemberState::kAlive, 2)}));
+  proto::PushPull req = make_state(false, {});
+  const auto bytes = proto::encode_datagram(req);
+  node().on_packet(sim::sim_address(1), bytes, Channel::kReliable);
+  EXPECT_GT(node().metrics().counter_value("sync.received"), 0);
+  // The response contains self + m1 + m2 (we can't easily decode node-1's
+  // inbox here, but the send counter must have moved on the reliable
+  // channel).
+  EXPECT_GT(node().metrics().counter_value("net.sent.push-pull-resp"), 0);
+}
+
+TEST_F(NodeSync, JoinViaSeedPopulatesBothSides) {
+  sim_.node(1).start();
+  sim_.node(1).join({sim::sim_address(0)});
+  sim_.run_for(sec(1));
+  EXPECT_EQ(node().members().num_active(), 2);
+  EXPECT_EQ(sim_.node(1).members().num_active(), 2);
+}
+
+TEST_F(NodeSync, MergeRefutesSuspicionAboutSelf) {
+  // A peer claiming WE are suspect/dead must trigger refutation on merge.
+  const auto inc_before = node().incarnation();
+  inject(make_state(true, {snap("node-0", MemberState::kDead, inc_before)}));
+  EXPECT_GT(node().incarnation(), inc_before);
+  EXPECT_GT(node().metrics().counter_value("swim.refutations"), 0);
+}
+
+}  // namespace
+}  // namespace lifeguard

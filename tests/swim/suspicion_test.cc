@@ -1,0 +1,136 @@
+// LHA-Suspicion timeout math (paper §IV-B) — unit and property tests.
+#include "swim/suspicion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace lifeguard::swim {
+namespace {
+
+TEST(SuspicionTimeout, FixedWhenMinEqualsMax) {
+  // SWIM baseline: β = 1 means Max == Min — a constant timeout.
+  EXPECT_EQ(suspicion_timeout(sec(10), sec(10), 3, 0), sec(10));
+  EXPECT_EQ(suspicion_timeout(sec(10), sec(10), 3, 2), sec(10));
+}
+
+TEST(SuspicionTimeout, StartsAtMaxWithoutConfirmations) {
+  EXPECT_EQ(suspicion_timeout(sec(10), sec(60), 3, 0), sec(60));
+}
+
+TEST(SuspicionTimeout, ReachesMinAtKConfirmations) {
+  EXPECT_EQ(suspicion_timeout(sec(10), sec(60), 3, 3), sec(10));
+  // And never goes below Min for C > K.
+  EXPECT_EQ(suspicion_timeout(sec(10), sec(60), 3, 10), sec(10));
+}
+
+TEST(SuspicionTimeout, MatchesPaperFormula) {
+  // timeout = max(Min, Max − (Max−Min)·log(C+1)/log(K+1))
+  const Duration min = sec(10), max = sec(60);
+  const int k = 3;
+  for (int c = 0; c <= k; ++c) {
+    const double expected =
+        std::max(10.0, 60.0 - 50.0 * std::log(c + 1.0) / std::log(k + 1.0));
+    EXPECT_NEAR(suspicion_timeout(min, max, k, c).seconds(), expected, 1e-6)
+        << "C=" << c;
+  }
+}
+
+TEST(SuspicionTimeout, LogarithmicDecayShrinksEachStep) {
+  // The first confirmation buys the biggest reduction (paper's intuition).
+  const Duration min = sec(10), max = sec(60);
+  const int k = 5;
+  Duration prev = suspicion_timeout(min, max, k, 0);
+  Duration prev_drop = Duration{1LL << 60};
+  for (int c = 1; c <= k; ++c) {
+    const Duration cur = suspicion_timeout(min, max, k, c);
+    const Duration drop = prev - cur;
+    EXPECT_GT(drop, Duration{0}) << "C=" << c;
+    EXPECT_LT(drop, prev_drop) << "C=" << c;
+    prev = cur;
+    prev_drop = drop;
+  }
+}
+
+TEST(SuspicionTimeout, DegenerateInputsAreSafe) {
+  EXPECT_EQ(suspicion_timeout(sec(10), sec(60), 0, 0), sec(60));  // K=0: fixed at Max
+  EXPECT_EQ(suspicion_timeout(sec(10), sec(60), -1, 5), sec(60));
+  EXPECT_EQ(suspicion_timeout(sec(10), sec(60), 3, -4), sec(60));  // C<0 -> 0
+  EXPECT_EQ(suspicion_timeout(sec(60), sec(10), 3, 0), sec(60));   // max<min
+}
+
+// Property sweep: monotonicity and bounds over a (K, C, Min, Max) grid.
+class TimeoutProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TimeoutProperty, BoundedAndMonotone) {
+  const auto [k, min_s, beta] = GetParam();
+  const Duration min = sec(min_s);
+  const Duration max = sec(min_s * beta);
+  Duration prev = max + sec(1);
+  for (int c = 0; c <= k + 3; ++c) {
+    const Duration t = suspicion_timeout(min, max, k, c);
+    EXPECT_GE(t, min);
+    EXPECT_LE(t, max);
+    EXPECT_LE(t, prev);  // monotone non-increasing in C
+    prev = t;
+  }
+  EXPECT_EQ(prev, min);  // saturates at Min
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimeoutProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),   // K
+                       ::testing::Values(5, 10, 21),       // Min seconds
+                       ::testing::Values(2, 4, 6)));       // β
+
+TEST(SuspicionMin, FollowsAlphaLogN) {
+  // Min = α·log10(n)·ProbeInterval (floored at α·ProbeInterval).
+  EXPECT_NEAR(suspicion_min(5.0, 128, sec(1)).seconds(),
+              5.0 * std::log10(128.0), 1e-6);
+  EXPECT_NEAR(suspicion_min(2.0, 1000, sec(1)).seconds(), 6.0, 1e-6);
+  // Tiny clusters clamp the log factor to 1.
+  EXPECT_NEAR(suspicion_min(5.0, 3, sec(1)).seconds(), 5.0, 1e-6);
+  EXPECT_NEAR(suspicion_min(5.0, 1, sec(1)).seconds(), 5.0, 1e-6);
+  // Scales with the probe interval.
+  EXPECT_NEAR(suspicion_min(5.0, 128, msec(500)).seconds(),
+              2.5 * std::log10(128.0), 1e-6);
+}
+
+TEST(Suspicion, ConfirmCountsDistinctOriginsOnly) {
+  Suspicion s("m", 1, "first", sec(10), sec(60), 3, TimePoint{0});
+  EXPECT_EQ(s.confirmations(), 0);
+  EXPECT_FALSE(s.confirm("first"));  // creator already counted toward K
+  EXPECT_TRUE(s.confirm("a"));
+  EXPECT_FALSE(s.confirm("a"));  // duplicate
+  EXPECT_TRUE(s.confirm("b"));
+  EXPECT_TRUE(s.confirm("c"));
+  EXPECT_EQ(s.confirmations(), 3);
+  EXPECT_FALSE(s.accepts_more());
+  EXPECT_FALSE(s.confirm("d"));  // K reached: no further re-gossip
+}
+
+TEST(Suspicion, DeadlineTracksConfirmations) {
+  const TimePoint start{1'000'000};
+  Suspicion s("m", 1, "first", sec(10), sec(60), 3, start);
+  EXPECT_EQ(s.deadline(), start + sec(60));
+  (void)s.confirm("a");
+  (void)s.confirm("b");
+  (void)s.confirm("c");
+  EXPECT_EQ(s.deadline(), start + sec(10));
+  // remaining_at can be negative when the reduced deadline already passed.
+  EXPECT_EQ(s.remaining_at(start + sec(15)), sec(-5));
+  EXPECT_EQ(s.remaining_at(start + sec(4)), sec(6));
+}
+
+TEST(Suspicion, IncarnationUpdatable) {
+  Suspicion s("m", 1, "f", sec(10), sec(60), 3, TimePoint{});
+  EXPECT_EQ(s.incarnation(), 1u);
+  s.set_incarnation(5);
+  EXPECT_EQ(s.incarnation(), 5u);
+  EXPECT_EQ(s.member(), "m");
+}
+
+}  // namespace
+}  // namespace lifeguard::swim
