@@ -3,7 +3,7 @@
 // cycles, see DESIGN.md) for five minutes; we count FP and FP- for
 // unmodified SWIM and for full Lifeguard.
 #include "bench_common.h"
-#include "harness/experiment.h"
+#include "harness/scenario.h"
 #include "harness/table.h"
 
 using namespace lifeguard;
@@ -25,14 +25,14 @@ int main() {
     std::int64_t fp[2] = {0, 0}, fpm[2] = {0, 0};
     for (int rep = 0; rep < reps; ++rep) {
       for (int cfg_idx = 0; cfg_idx < 2; ++cfg_idx) {
-        StressParams p;
-        p.base.cluster_size = 100;
-        p.base.config = cfg_idx == 0 ? swim::Config::swim_baseline()
-                                     : swim::Config::lifeguard();
-        p.base.seed = run_seed(opt.seed, s, 0, 0, rep);
-        p.stressed = s;
-        p.test_length = sec(300);  // the paper's 5-minute stress run
-        const RunResult r = run_stress(p);
+        // The cataloged Fig. 1 scenario, varied over stress level, config
+        // and paired seeds.
+        Scenario sc = *ScenarioRegistry::builtin().find("fig1-cpu-exhaustion");
+        sc.config = cfg_idx == 0 ? swim::Config::swim_baseline()
+                                 : swim::Config::lifeguard();
+        sc.seed = run_seed(opt.seed, s, 0, 0, rep);
+        sc.anomaly.victims = s;
+        const RunResult r = run(sc);
         fp[cfg_idx] += r.fp_events;
         fpm[cfg_idx] += r.fp_healthy_events;
       }

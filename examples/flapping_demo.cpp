@@ -1,62 +1,56 @@
-// The scenario that motivated Lifeguard (paper §II): an overloaded member
-// intermittently stalls, and under plain SWIM healthy members get falsely
-// declared dead — "flapping". Run the identical workload under SWIM and
-// under Lifeguard and compare.
+// The scenario that motivated Lifeguard (paper §II): overloaded members
+// intermittently stall, and under plain SWIM healthy members get falsely
+// declared dead — "flapping". Run the cataloged flapping scenario under SWIM
+// and under Lifeguard and compare.
 //
 //   ./examples/flapping_demo
+#include <algorithm>
 #include <cstdio>
 
-#include "sim/anomaly.h"
-#include "sim/simulator.h"
+#include "harness/scenario.h"
 
 using namespace lifeguard;
+using namespace lifeguard::harness;
 
 namespace {
 
 struct Outcome {
-  int false_positives = 0;        // dead declarations about healthy members
-  int flap_transitions = 0;       // alive->failed->alive oscillations seen
+  long long false_positives = 0;  // dead declarations about healthy members
+  long long refutations = 0;      // "I am not dead" rebuttals (flap halves)
   long long messages = 0;
 };
 
-Outcome run(const swim::Config& cfg, const char* label) {
+/// The demo workload: 4 of 64 members stall in lock-step for 16 s with 5 ms
+/// of air between stalls, for two minutes (e.g. video transcoders behind one
+/// oversubscribed CPU, §II). 16 s sits above SWIM's fixed suspicion timeout
+/// (5·log10(64) ≈ 9 s) but below Lifeguard's starting timeout (6×that) —
+/// exactly the regime the paper targets.
+Scenario demo_scenario() {
+  Scenario s;
+  s.name = "flapping-demo";
+  s.cluster_size = 64;
+  s.anomaly = AnomalyPlan::cycling(4, sec(16), msec(5));
+  s.run_length = sec(120);
+  s.seed = 77;
+  return s;
+}
+
+Outcome run_with(const swim::Config& cfg) {
+  // Identical workload for both configurations: same scenario, same seed —
+  // only the protocol configuration differs.
+  Scenario s = demo_scenario();
+  s.config = cfg;
   std::printf("--- %s ---\n", cfg.table1_name().c_str());
-  (void)label;
-  sim::SimParams params;
-  params.seed = 77;  // identical workload for both configurations
-  sim::Simulator sim(64, cfg, params);
-  sim.start_all();
-  sim.run_for(sec(15));
 
-  // Four members suffer intermittent stalls: 16 s blocked, 5 ms of air,
-  // repeating for two minutes (e.g. video transcoders with an
-  // oversubscribed CPU, §II). 16 s sits above SWIM's fixed suspicion
-  // timeout (5·log10(64) ≈ 9 s) but below Lifeguard's starting timeout
-  // (6×that) — exactly the regime the paper targets.
-  const std::vector<int> victims{3, 11, 42, 57};
-  const TimePoint start = sim.now();
-  sim::schedule_interval_anomaly(sim, victims, start, sec(16), msec(5),
-                                 start + sec(120));
-  sim.run_until(start + sec(140));
-
+  const RunResult r = run(s);
   Outcome out;
-  for (int i = 0; i < sim.size(); ++i) {
-    for (const auto& e : sim.events(i).events()) {
-      if (e.at < start) continue;
-      const bool about_victim = e.member == "node-3" || e.member == "node-11" ||
-                                e.member == "node-42" || e.member == "node-57";
-      if (e.type == swim::EventType::kFailed && e.originated && !about_victim) {
-        ++out.false_positives;
-      }
-      // A recovery event about anyone indicates one half of a flap.
-      if (e.type == swim::EventType::kAlive) ++out.flap_transitions;
-    }
-  }
-  out.messages = sim.aggregate_metrics().counter_value("net.msgs_sent");
-  std::printf("  false positives about healthy members : %d\n",
+  out.false_positives = r.fp_events;
+  out.refutations = r.metrics.counter_value("swim.refutations");
+  out.messages = r.msgs_sent;
+  std::printf("  false positives about healthy members : %lld\n",
               out.false_positives);
-  std::printf("  alive<->failed flap transitions        : %d\n",
-              out.flap_transitions);
+  std::printf("  refutations (flap halves)              : %lld\n",
+              out.refutations);
   std::printf("  compound messages sent                 : %lld\n\n",
               out.messages);
   return out;
@@ -67,17 +61,17 @@ Outcome run(const swim::Config& cfg, const char* label) {
 int main() {
   std::printf(
       "Identical cluster, identical anomaly schedule (seed 77):\n"
-      "4 of 64 members stall for 20 s at a time with 5 ms of air between\n"
+      "4 of 64 members stall for 16 s at a time with 5 ms of air between\n"
       "stalls, for two minutes.\n\n");
-  const Outcome swim = run(swim::Config::swim_baseline(), "SWIM");
-  const Outcome lifeguard = run(swim::Config::lifeguard(), "Lifeguard");
+  const Outcome swim = run_with(swim::Config::swim_baseline());
+  const Outcome lifeguard = run_with(swim::Config::lifeguard());
 
   if (lifeguard.false_positives < swim.false_positives) {
     const double factor =
-        swim.false_positives /
+        static_cast<double>(swim.false_positives) /
         std::max(1.0, static_cast<double>(lifeguard.false_positives));
-    std::printf("Lifeguard cut false positives by %.0fx (%d -> %d).\n", factor,
-                swim.false_positives, lifeguard.false_positives);
+    std::printf("Lifeguard cut false positives by %.0fx (%lld -> %lld).\n",
+                factor, swim.false_positives, lifeguard.false_positives);
   } else {
     std::printf("No false-positive reduction in this run — try more seeds.\n");
   }

@@ -3,25 +3,23 @@
 //
 //   ./examples/quickstart
 //
-// This is the five-minute tour of the public API: Simulator owns a cluster
-// of swim::Node agents; RecordingListener captures every membership event.
+// This is the five-minute tour of the public API: ClusterBuilder assembles a
+// cluster of swim::Node agents over the simulator; subscribe() streams every
+// membership event through a RAII subscription.
 #include <cstdio>
 
-#include "sim/simulator.h"
+#include "cluster/cluster.h"
 
 using namespace lifeguard;
 
 namespace {
 
-void dump_events(sim::Simulator& sim, int node_index, TimePoint since) {
-  for (const auto& e : sim.events(node_index).events()) {
-    if (e.at < since) continue;
-    std::printf("  [%6.2fs] %-8s saw %-8s %-7s (incarnation %llu%s)\n",
-                e.at.seconds(), e.reporter.c_str(), e.member.c_str(),
-                swim::event_type_name(e.type),
-                static_cast<unsigned long long>(e.incarnation),
-                e.originated ? ", originated here" : "");
-  }
+void print_event(const swim::MemberEvent& e) {
+  std::printf("  [%6.2fs] %-8s saw %-8s %-7s (incarnation %llu%s)\n",
+              e.at.seconds(), e.reporter.c_str(), e.member.c_str(),
+              swim::event_type_name(e.type),
+              static_cast<unsigned long long>(e.incarnation),
+              e.originated ? ", originated here" : "");
 }
 
 }  // namespace
@@ -29,40 +27,45 @@ void dump_events(sim::Simulator& sim, int node_index, TimePoint since) {
 int main() {
   // 1. Build a 16-node cluster running full Lifeguard (all three components:
   //    LHA-Probe, LHA-Suspicion, Buddy System).
-  sim::SimParams params;
-  params.seed = 2024;
-  sim::Simulator sim(16, swim::Config::lifeguard(), params);
+  auto cluster = ClusterBuilder()
+                     .size(16)
+                     .config(swim::Config::lifeguard())
+                     .seed(2024)
+                     .build();
 
   std::printf("Starting 16 agents; every agent joins via node-0...\n");
-  sim.start_all();
-  sim.run_for(sec(10));
+  cluster->start();
+  cluster->run_for(sec(10));
   std::printf("Converged: %s (every view shows 16 active members)\n\n",
-              sim.converged(16) ? "yes" : "no");
+              cluster->converged() ? "yes" : "no");
 
-  // 2. Crash a member and watch detection + dissemination.
-  std::printf("Crashing node-5 at t=%.2fs...\n", sim.now().seconds());
-  const TimePoint crash_at = sim.now();
-  sim.crash_node(5);
-  sim.run_for(sec(30));
-
-  std::printf("Events observed at node-0 since the crash:\n");
-  dump_events(sim, 0, crash_at);
+  // 2. Crash a member and watch detection + dissemination, live, at node-0.
+  //    The subscription detaches automatically when `sub` goes out of scope.
+  {
+    auto sub = cluster->subscribe([](const swim::MemberEvent& e) {
+      if (e.reporter == "node-0") print_event(e);
+    });
+    std::printf("Crashing node-5; events observed at node-0:\n");
+    cluster->simulator()->crash_node(5);
+    cluster->run_for(sec(30));
+  }
 
   // 3. Inspect a node's view and its local health.
-  const auto& node0 = sim.node(0);
+  const auto& node0 = cluster->node(0);
   std::printf("\nnode-0 now sees %d active members; its LHM score is %d "
               "(multiplier %dx)\n",
               node0.members().num_active(), node0.local_health().score(),
               node0.local_health().multiplier());
 
   // 4. Graceful leave, for contrast: no failure event is generated.
-  std::printf("\nnode-7 leaves gracefully...\n");
-  const TimePoint leave_at = sim.now();
-  sim.node(7).leave();
-  sim.run_for(sec(5));
-  dump_events(sim, 0, leave_at);
+  std::printf("\nnode-7 leaves gracefully; events observed at node-0:\n");
+  auto sub = cluster->subscribe([](const swim::MemberEvent& e) {
+    if (e.reporter == "node-0") print_event(e);
+  });
+  cluster->node(7).leave();
+  cluster->run_for(sec(5));
 
-  const Metrics m = sim.aggregate_metrics();
+  const Metrics m = cluster->aggregate_metrics();
   std::printf("\nCluster totals: %lld compound messages, %lld bytes, "
               "%lld refutations\n",
               static_cast<long long>(m.counter_value("net.msgs_sent")),

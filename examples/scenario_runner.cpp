@@ -1,26 +1,40 @@
-// Parameterized scenario driver: run any anomaly scenario against any
-// configuration from the command line, without writing code.
+// Run any scenario from the built-in catalog, or compose one from flags,
+// without writing code.
 //
-//   ./examples/scenario_runner [options]
+//   ./examples/scenario_runner --list
+//       Enumerate the registered scenarios (paper figures/tables + the new
+//       partition / flapping / churn kinds).
+//
+//   ./examples/scenario_runner --scenario NAME [overrides]
+//       Run a cataloged scenario; any flag below overrides that field.
+//
+//   ./examples/scenario_runner [flags]
+//       Compose and run an ad-hoc scenario:
 //     --nodes N          cluster size               (default 64)
 //     --config NAME      swim|lha-probe|lha-suspicion|buddy|lifeguard
 //                                                   (default lifeguard)
-//     --anomaly KIND     none|threshold|interval|stress (default interval)
-//     --victims C        concurrent anomalies        (default 8)
+//     --anomaly KIND     none|threshold|interval|stress|partition|flapping|
+//                        churn                      (default interval)
+//     --victims C        anomaly set size            (default 8)
 //     --duration MS      anomaly duration D in ms    (default 16384)
 //     --interval MS      recovery interval I in ms   (default 4)
-//     --length S         test length in seconds      (default 120)
+//     --length S         observation length, seconds (default 120)
+//     --quiesce S        settling time, seconds      (default 15)
 //     --alpha A --beta B suspicion tuning            (default 5 / 6)
 //     --seed S           RNG seed                    (default 1)
 //
 // Prints the paper's metrics for the single run: FP, FP-, detection and
-// dissemination latencies, message load.
+// dissemination latencies, message load. Malformed or out-of-range flag
+// values are rejected with a message naming the flag and the accepted range.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <optional>
 #include <string>
 
-#include "harness/experiment.h"
+#include "harness/scenario.h"
 #include "harness/table.h"
 
 using namespace lifeguard;
@@ -28,18 +42,62 @@ using namespace lifeguard::harness;
 
 namespace {
 
-struct Options {
-  int nodes = 64;
-  std::string config = "lifeguard";
-  std::string anomaly = "interval";
-  int victims = 8;
-  std::int64_t duration_ms = 16384;
-  std::int64_t interval_ms = 4;
-  std::int64_t length_s = 120;
-  double alpha = 5.0;
-  double beta = 6.0;
-  std::uint64_t seed = 1;
-};
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "scenario_runner: %s\n(run with --list to see the "
+               "catalog; see the file header for flags)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+/// Strict integer flag parser: the whole value must be a decimal number
+/// inside [lo, hi]; anything else aborts with a message naming the flag.
+std::int64_t parse_int(const std::string& flag, const char* text,
+                       std::int64_t lo, std::int64_t hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    usage_error(flag + " expects an integer, got '" + text + "'");
+  }
+  if (errno == ERANGE || v < lo || v > hi) {
+    usage_error(flag + " value " + text + " is out of range [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+/// Full uint64 range (seeds): strict, but no [lo, hi] window.
+std::uint64_t parse_u64(const std::string& flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  if (text[0] == '-') {
+    usage_error(flag + " expects a non-negative integer, got '" +
+                std::string(text) + "'");
+  }
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    usage_error(flag + " expects an integer, got '" + std::string(text) + "'");
+  }
+  if (errno == ERANGE) {
+    usage_error(flag + " value " + text + " does not fit in 64 bits");
+  }
+  return v;
+}
+
+double parse_double(const std::string& flag, const char* text, double lo,
+                    double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    usage_error(flag + " expects a number, got '" + text + "'");
+  }
+  if (errno == ERANGE || !(v >= lo && v <= hi)) {
+    usage_error(flag + " value " + text + " is out of range [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
 
 swim::Config config_by_name(const std::string& name) {
   if (name == "swim") return swim::Config::swim_baseline();
@@ -47,46 +105,20 @@ swim::Config config_by_name(const std::string& name) {
   if (name == "lha-suspicion") return swim::Config::lha_suspicion_only();
   if (name == "buddy") return swim::Config::buddy_only();
   if (name == "lifeguard") return swim::Config::lifeguard();
-  std::fprintf(stderr, "unknown config '%s'\n", name.c_str());
-  std::exit(2);
+  usage_error("unknown --config '" + name +
+              "' (expected swim|lha-probe|lha-suspicion|buddy|lifeguard)");
 }
 
-bool parse(int argc, char** argv, Options& o) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--nodes") {
-      o.nodes = std::atoi(next());
-    } else if (arg == "--config") {
-      o.config = next();
-    } else if (arg == "--anomaly") {
-      o.anomaly = next();
-    } else if (arg == "--victims") {
-      o.victims = std::atoi(next());
-    } else if (arg == "--duration") {
-      o.duration_ms = std::atoll(next());
-    } else if (arg == "--interval") {
-      o.interval_ms = std::atoll(next());
-    } else if (arg == "--length") {
-      o.length_s = std::atoll(next());
-    } else if (arg == "--alpha") {
-      o.alpha = std::atof(next());
-    } else if (arg == "--beta") {
-      o.beta = std::atof(next());
-    } else if (arg == "--seed") {
-      o.seed = std::strtoull(next(), nullptr, 10);
-    } else {
-      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-      return false;
-    }
+void list_catalog() {
+  Table t({"Scenario", "Paper", "Anomaly", "Nodes", "Description"});
+  for (const Scenario& s : ScenarioRegistry::builtin().all()) {
+    t.add_row({s.name, s.paper_ref.empty() ? "-" : s.paper_ref,
+               anomaly_kind_name(s.anomaly.kind),
+               std::to_string(s.cluster_size), s.summary});
   }
-  return true;
+  t.print();
+  std::printf("\nRun one with: scenario_runner --scenario NAME "
+              "(flags override fields; e.g. --nodes 32 --length 60)\n");
 }
 
 void report(const RunResult& r) {
@@ -113,62 +145,101 @@ void report(const RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options o;
-  if (!parse(argc, argv, o)) return 2;
+  Scenario s;
+  s.name = "custom";
+  s.summary = "ad-hoc scenario composed from flags";
+  s.cluster_size = 64;
+  s.config = swim::Config::lifeguard();
+  s.anomaly = AnomalyPlan::cycling(8, msec(16384), msec(4));
+  s.run_length = sec(120);
 
-  swim::Config cfg = config_by_name(o.config);
-  if (cfg.lha_suspicion) {
-    cfg.suspicion_alpha = o.alpha;
-    cfg.suspicion_beta = o.beta;
+  // Flag values are collected first and applied on top of the base scenario
+  // (the catalog entry or the ad-hoc default) so order doesn't matter.
+  std::optional<double> alpha, beta;
+  std::optional<int> nodes, victims;
+  std::optional<Duration> duration, interval, length, quiesce;
+  std::optional<std::uint64_t> seed;
+  std::optional<std::string> anomaly_name, config_name;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list_catalog();
+      return 0;
+    } else if (arg == "--scenario") {
+      const std::string name = next();
+      const Scenario* found = ScenarioRegistry::builtin().find(name);
+      if (found == nullptr) {
+        usage_error("unknown scenario '" + name +
+                    "' — run with --list to see the catalog");
+      }
+      s = *found;
+    } else if (arg == "--nodes") {
+      nodes = static_cast<int>(parse_int(arg, next(), 2, 4096));
+    } else if (arg == "--config") {
+      config_name = next();
+    } else if (arg == "--anomaly") {
+      anomaly_name = next();
+    } else if (arg == "--victims") {
+      victims = static_cast<int>(parse_int(arg, next(), 0, 4096));
+    } else if (arg == "--duration") {
+      duration = msec(parse_int(arg, next(), 1, 86400000));
+    } else if (arg == "--interval") {
+      interval = msec(parse_int(arg, next(), 1, 86400000));
+    } else if (arg == "--length") {
+      length = sec(parse_int(arg, next(), 1, 86400));
+    } else if (arg == "--quiesce") {
+      quiesce = sec(parse_int(arg, next(), 0, 3600));
+    } else if (arg == "--alpha") {
+      alpha = parse_double(arg, next(), 0.1, 1000.0);
+    } else if (arg == "--beta") {
+      beta = parse_double(arg, next(), 1.0, 1000.0);
+    } else if (arg == "--seed") {
+      seed = parse_u64(arg, next());
+    } else {
+      usage_error("unknown option " + arg);
+    }
   }
 
-  std::printf("scenario: %d nodes, %s, anomaly=%s C=%d D=%lldms I=%lldms "
-              "length=%llds seed=%llu\n\n",
-              o.nodes, cfg.table1_name().c_str(), o.anomaly.c_str(),
-              o.victims, static_cast<long long>(o.duration_ms),
-              static_cast<long long>(o.interval_ms),
-              static_cast<long long>(o.length_s),
-              static_cast<unsigned long long>(o.seed));
+  if (nodes) s.cluster_size = *nodes;
+  if (length) s.run_length = *length;
+  if (quiesce) s.quiesce = *quiesce;
+  if (seed) s.seed = *seed;
+  if (config_name) s.config = config_by_name(*config_name);
+  if (s.config.lha_suspicion) {
+    if (alpha) s.config.suspicion_alpha = *alpha;
+    if (beta) s.config.suspicion_beta = *beta;
+  }
+  if (anomaly_name) {
+    const auto kind = anomaly_kind_from_name(*anomaly_name);
+    if (!kind) {
+      usage_error("unknown --anomaly '" + *anomaly_name +
+                  "' (expected none|threshold|interval|stress|partition|"
+                  "flapping|churn)");
+    }
+    s.anomaly.kind = *kind;
+    if (*kind == AnomalyKind::kNone) s.anomaly.victims = 0;
+  }
+  if (victims) s.anomaly.victims = *victims;
+  if (duration) s.anomaly.duration = *duration;
+  if (interval) s.anomaly.interval = *interval;
 
-  if (o.anomaly == "threshold") {
-    ThresholdParams p;
-    p.base.cluster_size = o.nodes;
-    p.base.config = cfg;
-    p.base.seed = o.seed;
-    p.concurrent = o.victims;
-    p.duration = msec(o.duration_ms);
-    p.observe = sec(o.length_s);
-    report(run_threshold(p));
-  } else if (o.anomaly == "interval") {
-    IntervalParams p;
-    p.base.cluster_size = o.nodes;
-    p.base.config = cfg;
-    p.base.seed = o.seed;
-    p.concurrent = o.victims;
-    p.duration = msec(o.duration_ms);
-    p.interval = msec(o.interval_ms);
-    p.test_length = sec(o.length_s);
-    report(run_interval(p));
-  } else if (o.anomaly == "stress") {
-    StressParams p;
-    p.base.cluster_size = o.nodes;
-    p.base.config = cfg;
-    p.base.seed = o.seed;
-    p.stressed = o.victims;
-    p.test_length = sec(o.length_s);
-    report(run_stress(p));
-  } else if (o.anomaly == "none") {
-    IntervalParams p;
-    p.base.cluster_size = o.nodes;
-    p.base.config = cfg;
-    p.base.seed = o.seed;
-    p.concurrent = 0;
-    p.duration = msec(1000);
-    p.interval = msec(1000);
-    p.test_length = sec(o.length_s);
-    report(run_interval(p));
-  } else {
-    std::fprintf(stderr, "unknown anomaly kind '%s'\n", o.anomaly.c_str());
+  std::printf("scenario: %s — %d nodes, %s, anomaly=%s victims=%d "
+              "D=%.0fms I=%.0fms length=%.0fs seed=%llu\n\n",
+              s.name.c_str(), s.cluster_size, s.config.table1_name().c_str(),
+              anomaly_kind_name(s.anomaly.kind), s.anomaly.victims,
+              s.anomaly.duration.millis(), s.anomaly.interval.millis(),
+              s.run_length.seconds(),
+              static_cast<unsigned long long>(s.seed));
+
+  try {
+    report(run(s));
+  } catch (const ScenarioError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
   return 0;

@@ -1,12 +1,13 @@
 // Explore the alpha/beta suspicion-timeout trade-off (paper §V-F4): lower
 // alpha buys faster detection at the cost of more false positives. Prints
 // detection latency and FP counts for a few tunings so an operator can pick
-// a point on the curve.
+// a point on the curve. Each tuning runs the same two declarative scenarios
+// (a threshold run for latency, a cycling run for false positives).
 //
 //   ./examples/tuning_explorer
 #include <cstdio>
 
-#include "harness/experiment.h"
+#include "harness/scenario.h"
 #include "harness/table.h"
 
 using namespace lifeguard;
@@ -30,28 +31,27 @@ int main() {
     cfg.suspicion_alpha = pt.alpha;
     cfg.suspicion_beta = pt.beta;
 
-    // Latency: one threshold experiment with long anomalies.
-    ThresholdParams tp;
-    tp.base.cluster_size = 64;
-    tp.base.config = cfg;
-    tp.base.seed = 9;
-    tp.concurrent = 6;
-    tp.duration = msec(32768);
-    tp.observe = sec(60);
-    const RunResult lat = run_threshold(tp);
+    // Latency: one threshold scenario with long anomalies.
+    Scenario lat_s;
+    lat_s.name = "tuning-latency";
+    lat_s.cluster_size = 64;
+    lat_s.config = cfg;
+    lat_s.seed = 9;
+    lat_s.anomaly = AnomalyPlan::threshold(6, msec(32768));
+    lat_s.run_length = sec(60);
+    const RunResult lat = run(lat_s);
     Histogram h;
     for (double s : lat.first_detect) h.record(s);
 
-    // False positives: one interval experiment with aggressive flapping.
-    IntervalParams ip;
-    ip.base.cluster_size = 64;
-    ip.base.config = cfg;
-    ip.base.seed = 9;
-    ip.concurrent = 10;
-    ip.duration = msec(16384);
-    ip.interval = msec(4);
-    ip.test_length = sec(120);
-    const RunResult fp = run_interval(ip);
+    // False positives: one cycling scenario with aggressive flapping.
+    Scenario fp_s;
+    fp_s.name = "tuning-false-positives";
+    fp_s.cluster_size = 64;
+    fp_s.config = cfg;
+    fp_s.seed = 9;
+    fp_s.anomaly = AnomalyPlan::cycling(10, msec(16384), msec(4));
+    fp_s.run_length = sec(120);
+    const RunResult fp = run(fp_s);
 
     const Duration min_t =
         swim::suspicion_min(pt.alpha, 64, cfg.probe_interval);

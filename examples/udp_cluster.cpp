@@ -1,5 +1,6 @@
 // Live cluster over real UDP sockets on localhost: the same swim::Node code
-// that runs in the simulator, driven by net::UdpRuntime.
+// that runs in the simulator, driven by net::UdpRuntime — all assembled by
+// the one ClusterBuilder facade (backend kUdp).
 //
 //   ./examples/udp_cluster [num_nodes]      (default 5)
 //
@@ -7,64 +8,13 @@
 // agent, prints each agent's view, then kills one agent and shows the
 // failure being detected and disseminated — in real time (accelerated
 // protocol timers keep the demo short).
-#include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <mutex>
-#include <thread>
-#include <vector>
 
-#include "net/udp_runtime.h"
-#include "swim/node.h"
+#include "cluster/cluster.h"
 
 using namespace lifeguard;
-
-namespace {
-
-// Thread-safe listener: UdpRuntime delivers events on each node's loop
-// thread; the demo prints them from wherever they land.
-class PrintingListener : public swim::EventListener {
- public:
-  void on_event(const swim::MemberEvent& e) override {
-    static std::mutex mu;
-    const std::lock_guard<std::mutex> lock(mu);
-    std::printf("  event: %-8s reports %-8s %s (inc %llu)\n",
-                e.reporter.c_str(), e.member.c_str(),
-                swim::event_type_name(e.type),
-                static_cast<unsigned long long>(e.incarnation));
-  }
-};
-
-struct Agent {
-  std::unique_ptr<net::UdpRuntime> rt;
-  std::unique_ptr<PrintingListener> listener;
-  std::unique_ptr<swim::Node> node;
-
-  Agent(const std::string& name, std::uint64_t seed, const swim::Config& cfg) {
-    rt = std::make_unique<net::UdpRuntime>(0, seed);
-    listener = std::make_unique<PrintingListener>();
-    node = std::make_unique<swim::Node>(name, rt->local_address(), cfg, *rt,
-                                        listener.get());
-    rt->start(node.get());
-    rt->post([this] { node->start(); });
-  }
-  ~Agent() {
-    if (!rt) return;
-    rt->post([this] { node->stop(); });
-    rt->shutdown();
-  }
-
-  int active() {
-    std::atomic<int> result{-1};
-    rt->post([&] { result = node->members().num_active(); });
-    while (result < 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    return result;
-  }
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 5;
@@ -83,58 +33,52 @@ int main(int argc, char** argv) {
   cfg.reconnect_interval = sec(2);
 
   std::printf("Starting %d agents on loopback UDP...\n", n);
-  std::vector<std::unique_ptr<Agent>> agents;
+  auto cluster = ClusterBuilder()
+                     .size(n)
+                     .config(cfg)
+                     .seed(1000)
+                     .backend(Cluster::Backend::kUdp)
+                     .build();
   for (int i = 0; i < n; ++i) {
-    agents.push_back(std::make_unique<Agent>("agent-" + std::to_string(i),
-                                             1000 + static_cast<std::uint64_t>(i),
-                                             cfg));
-    std::printf("  agent-%d on %s\n", i,
-                agents.back()->rt->local_address().to_string().c_str());
+    std::printf("  %s on %s\n", cluster->node(i).name().c_str(),
+                cluster->node(i).address().to_string().c_str());
   }
 
-  const Address seed_addr = agents[0]->rt->local_address();
-  for (int i = 1; i < n; ++i) {
-    Agent* a = agents[static_cast<std::size_t>(i)].get();
-    a->rt->post([a, seed_addr] { a->node->join({seed_addr}); });
-  }
+  // Events arrive on each node's runtime loop thread; serialize the prints.
+  auto sub = cluster->subscribe([](const swim::MemberEvent& e) {
+    static std::mutex mu;
+    const std::lock_guard<std::mutex> lock(mu);
+    std::printf("  event: %-8s reports %-8s %s (inc %llu)\n",
+                e.reporter.c_str(), e.member.c_str(),
+                swim::event_type_name(e.type),
+                static_cast<unsigned long long>(e.incarnation));
+  });
 
   std::printf("\nWaiting for convergence...\n");
-  for (int tries = 0; tries < 100; ++tries) {
-    bool all = true;
-    for (auto& a : agents) all = all && a->active() == n;
-    if (all) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  }
+  cluster->start();
+  cluster->await_convergence(sec(10));
   for (int i = 0; i < n; ++i) {
-    std::printf("  agent-%d sees %d active members\n", i,
-                agents[static_cast<std::size_t>(i)]->active());
+    std::printf("  node-%d sees %d active members\n", i,
+                cluster->active_members(i));
   }
 
-  std::printf("\nKilling agent-%d (hard stop, no leave)...\n", n - 1);
-  agents.back().reset();
-  agents.pop_back();
+  std::printf("\nStopping node-%d (hard stop, no leave)...\n", n - 1);
+  cluster->stop_node(n - 1);
 
   std::printf("Watching the survivors detect the failure...\n");
   for (int tries = 0; tries < 200; ++tries) {
     bool all = true;
-    for (auto& a : agents) all = all && a->active() == n - 1;
+    for (int i = 0; i < n - 1; ++i) {
+      all = all && cluster->active_members(i) == n - 1;
+    }
     if (all) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cluster->run_for(msec(100));
   }
-  for (std::size_t i = 0; i < agents.size(); ++i) {
-    std::printf("  agent-%zu sees %d active members\n", i,
-                agents[i]->active());
+  for (int i = 0; i < n - 1; ++i) {
+    std::printf("  node-%d sees %d active members\n", i,
+                cluster->active_members(i));
   }
-  std::printf("\nDone. (LHM at agent-0: %dx multiplier)\n",
-              [&] {
-                std::atomic<int> v{-1};
-                agents[0]->rt->post([&] {
-                  v = agents[0]->node->local_health().multiplier();
-                });
-                while (v < 0) {
-                  std::this_thread::sleep_for(std::chrono::milliseconds(2));
-                }
-                return static_cast<int>(v);
-              }());
+  std::printf("\nDone.\n");
+  cluster->stop();
   return 0;
 }

@@ -1,141 +1,65 @@
 #include "harness/experiment.h"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "sim/simulator.h"
-#include "swim/events.h"
-
 namespace lifeguard::harness {
 
 namespace {
 
-sim::Simulator make_cluster(const ExperimentParams& p) {
-  sim::SimParams sp;
-  sp.network = p.network;
-  sp.seed = p.seed;
-  sp.msg_proc_cost = p.msg_proc_cost;
-  return sim::Simulator(p.cluster_size, p.config, sp);
-}
-
-/// Collect FP / FP⁻ counts and latency samples from the per-node event logs.
-void extract_results(sim::Simulator& sim, const std::vector<int>& victims,
-                     TimePoint anomaly_start, RunResult& out) {
-  std::set<std::string> victim_names;
-  std::set<int> victim_set(victims.begin(), victims.end());
-  for (int v : victims) victim_names.insert("node-" + std::to_string(v));
-
-  // --- false positives ---
-  for (int i = 0; i < sim.size(); ++i) {
-    const bool reporter_is_victim = victim_set.contains(i);
-    for (const auto& e : sim.events(i).events()) {
-      if (e.type != swim::EventType::kFailed || !e.originated) continue;
-      if (e.at < anomaly_start) continue;
-      if (victim_names.contains(e.member)) continue;  // true-ish positive
-      ++out.fp_events;
-      if (!reporter_is_victim) ++out.fp_healthy_events;
-    }
-  }
-
-  // --- detection / dissemination latency for the anomalous members ---
-  for (int v : victims) {
-    const std::string name = "node-" + std::to_string(v);
-    double first = -1.0;
-    bool all_healthy_marked = true;
-    double last_healthy_mark = -1.0;
-    for (int i = 0; i < sim.size(); ++i) {
-      if (i == v) continue;
-      double mark = -1.0;  // first time node i marked `name` failed
-      for (const auto& e : sim.events(i).events()) {
-        if (e.type != swim::EventType::kFailed || e.member != name) continue;
-        if (e.at < anomaly_start) continue;
-        const double t = (e.at - anomaly_start).seconds();
-        if (mark < 0) mark = t;
-        if (e.originated && (first < 0 || t < first)) first = t;
-      }
-      if (!victim_set.contains(i)) {
-        if (mark < 0) {
-          all_healthy_marked = false;
-        } else {
-          last_healthy_mark = std::max(last_healthy_mark, mark);
-        }
-      }
-    }
-    if (first >= 0) out.first_detect.push_back(first);
-    if (first >= 0 && all_healthy_marked && last_healthy_mark >= 0) {
-      out.full_dissem.push_back(last_healthy_mark);
-    }
-  }
-
-  // --- load ---
-  out.metrics = sim.aggregate_metrics();
-  out.msgs_sent = out.metrics.counter_value("net.msgs_sent");
-  out.bytes_sent = out.metrics.counter_value("net.bytes_sent");
+Scenario base_scenario(const ExperimentParams& p, std::string name) {
+  Scenario s;
+  s.name = std::move(name);
+  s.cluster_size = p.cluster_size;
+  s.quiesce = p.quiesce;
+  s.config = p.config;
+  s.network = p.network;
+  s.msg_proc_cost = p.msg_proc_cost;
+  s.seed = p.seed;
+  return s;
 }
 
 }  // namespace
 
-RunResult run_threshold(const ThresholdParams& p) {
-  sim::Simulator sim = make_cluster(p.base);
-  sim.start_all();
-  sim.run_for(p.base.quiesce);
-
-  const auto victims = sim::pick_victims(sim, p.concurrent);
-  const TimePoint start = sim.now();
-  sim::schedule_threshold_anomaly(sim, victims, start, p.duration);
-  sim.run_for(p.observe);
-
-  RunResult out;
-  out.cluster_size = p.base.cluster_size;
-  out.victims = victims;
-  extract_results(sim, victims, start, out);
-  return out;
+Scenario to_scenario(const ThresholdParams& p) {
+  Scenario s = base_scenario(p.base, "legacy-threshold");
+  s.summary = "run_threshold shim";
+  s.anomaly = AnomalyPlan::threshold(p.concurrent, p.duration);
+  s.run_length = p.observe;
+  return s;
 }
 
-RunResult run_interval(const IntervalParams& p) {
-  sim::Simulator sim = make_cluster(p.base);
-  sim.start_all();
-  sim.run_for(p.base.quiesce);
-
-  const auto victims = sim::pick_victims(sim, p.concurrent);
-  const TimePoint start = sim.now();
-  const TimePoint test_end = start + p.test_length;
-  sim::schedule_interval_anomaly(sim, victims, start, p.duration, p.interval,
-                                 test_end);
-  // "The test ends at the end of the next anomalous period": run to the end
-  // of the final scheduled cycle plus a short drain.
-  Duration total = p.test_length;
-  const Duration cycle = p.duration + p.interval;
-  if (cycle > Duration{0}) {
-    const std::int64_t cycles = (p.test_length.us + cycle.us - 1) / cycle.us;
-    total = cycle * cycles;
+Scenario to_scenario(const IntervalParams& p) {
+  Scenario s = base_scenario(p.base, "legacy-interval");
+  s.summary = "run_interval shim";
+  // The legacy driver accepted concurrent == 0 as a healthy baseline run;
+  // the declarative API spells that AnomalyKind::kNone. To keep the shim's
+  // load metrics bit-identical, reproduce the legacy end time: whole
+  // (duration + interval) cycles covering test_length, plus the 1 s drain
+  // (the kNone engine runs exactly run_length, with no cycle rounding).
+  if (p.concurrent == 0) {
+    s.anomaly = AnomalyPlan::none();
+    s.run_length =
+        cycle_aligned_length(p.test_length, p.duration, p.interval) + sec(1);
+  } else {
+    s.anomaly = AnomalyPlan::cycling(p.concurrent, p.duration, p.interval);
+    s.run_length = p.test_length;
   }
-  sim.run_until(start + total + sec(1));
-
-  RunResult out;
-  out.cluster_size = p.base.cluster_size;
-  out.victims = victims;
-  extract_results(sim, victims, start, out);
-  return out;
+  return s;
 }
 
-RunResult run_stress(const StressParams& p) {
-  sim::Simulator sim = make_cluster(p.base);
-  sim.start_all();
-  sim.run_for(p.base.quiesce);
-
-  const auto victims = sim::pick_victims(sim, p.stressed);
-  const TimePoint start = sim.now();
-  sim::schedule_stress_anomaly(sim, victims, start, start + p.test_length,
-                               p.stress);
-  sim.run_until(start + p.test_length + sec(2));
-
-  RunResult out;
-  out.cluster_size = p.base.cluster_size;
-  out.victims = victims;
-  extract_results(sim, victims, start, out);
-  return out;
+Scenario to_scenario(const StressParams& p) {
+  Scenario s = base_scenario(p.base, "legacy-stress");
+  s.summary = "run_stress shim";
+  s.anomaly = AnomalyPlan::stressed(p.stressed, p.stress);
+  s.run_length = p.test_length;
+  return s;
 }
+
+RunResult run_threshold(const ThresholdParams& p) {
+  return run(to_scenario(p));
+}
+
+RunResult run_interval(const IntervalParams& p) { return run(to_scenario(p)); }
+
+RunResult run_stress(const StressParams& p) { return run(to_scenario(p)); }
 
 std::vector<NamedConfig> table1_configs(double alpha, double beta) {
   auto tune = [&](swim::Config c) {

@@ -1,12 +1,17 @@
-// Experiment harness reproducing the paper's evaluation methodology (§V).
+// Legacy experiment drivers (DEPRECATED — kept as thin shims for one
+// release; new code should build a harness::Scenario and call
+// harness::run(), see scenario.h).
 //
-// Three experiment drivers:
+// The three drivers reproduce the paper's evaluation methodology (§V):
 //   * run_threshold — §V-D1: one synchronized set of C anomalies of duration
 //     D; measures first-detection and full-dissemination latency.
 //   * run_interval  — §V-D2: anomalies cycle (D blocked, I open) for the
 //     test duration; measures false positives and message load.
 //   * run_stress    — §II / Fig. 1: stochastic CPU-starvation cycles on a
 //     subset of members for several minutes; measures false positives.
+//
+// Each driver is exactly `run(to_scenario(params))`, so results are
+// bit-identical to the declarative path for the same parameters and seed.
 //
 // False-positive accounting follows §V-F1: an FP event is a node
 // *originating* a dead declaration (its own suspicion timeout) about a
@@ -15,12 +20,11 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
-#include "common/metrics.h"
 #include "common/types.h"
+#include "harness/scenario.h"
 #include "sim/anomaly.h"
 #include "sim/network.h"
 #include "swim/config.h"
@@ -67,26 +71,13 @@ struct StressParams {
   sim::StressParams stress;
 };
 
-struct RunResult {
-  int cluster_size = 0;
-  std::vector<int> victims;  ///< anomaly set (node indices)
+/// Mappings onto the declarative API — public so callers can migrate a
+/// param struct wholesale and so tests can assert shim parity.
+Scenario to_scenario(const ThresholdParams& p);
+Scenario to_scenario(const IntervalParams& p);
+Scenario to_scenario(const StressParams& p);
 
-  // -- false positives (§V-F1) --
-  std::int64_t fp_events = 0;          ///< FP: originated, healthy subject
-  std::int64_t fp_healthy_events = 0;  ///< FP⁻: and healthy originator
-
-  // -- true-positive latency, seconds (§V-F2) --
-  std::vector<double> first_detect;  ///< one sample per detected victim
-  std::vector<double> full_dissem;   ///< one sample per fully disseminated
-
-  // -- message load (§V-F3) --
-  std::int64_t msgs_sent = 0;
-  std::int64_t bytes_sent = 0;
-
-  /// Full aggregated metrics for deeper inspection.
-  Metrics metrics;
-};
-
+/// DEPRECATED: call run(to_scenario(p)) — these shims do exactly that.
 RunResult run_threshold(const ThresholdParams& p);
 RunResult run_interval(const IntervalParams& p);
 RunResult run_stress(const StressParams& p);

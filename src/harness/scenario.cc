@@ -1,0 +1,611 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "sim/simulator.h"
+#include "swim/events.h"
+
+namespace lifeguard::harness {
+
+// ---------------------------------------------------------------------------
+// Anomaly plan
+
+const char* anomaly_kind_name(AnomalyKind k) {
+  switch (k) {
+    case AnomalyKind::kNone:
+      return "none";
+    case AnomalyKind::kThreshold:
+      return "threshold";
+    case AnomalyKind::kInterval:
+      return "interval";
+    case AnomalyKind::kStress:
+      return "stress";
+    case AnomalyKind::kPartition:
+      return "partition";
+    case AnomalyKind::kFlapping:
+      return "flapping";
+    case AnomalyKind::kChurn:
+      return "churn";
+  }
+  return "?";
+}
+
+std::optional<AnomalyKind> anomaly_kind_from_name(std::string_view name) {
+  for (AnomalyKind k :
+       {AnomalyKind::kNone, AnomalyKind::kThreshold, AnomalyKind::kInterval,
+        AnomalyKind::kStress, AnomalyKind::kPartition, AnomalyKind::kFlapping,
+        AnomalyKind::kChurn}) {
+    if (name == anomaly_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+AnomalyPlan AnomalyPlan::none() { return {}; }
+
+AnomalyPlan AnomalyPlan::threshold(int victims, Duration duration) {
+  AnomalyPlan p;
+  p.kind = AnomalyKind::kThreshold;
+  p.victims = victims;
+  p.duration = duration;
+  return p;
+}
+
+AnomalyPlan AnomalyPlan::cycling(int victims, Duration duration,
+                                 Duration interval) {
+  AnomalyPlan p;
+  p.kind = AnomalyKind::kInterval;
+  p.victims = victims;
+  p.duration = duration;
+  p.interval = interval;
+  return p;
+}
+
+AnomalyPlan AnomalyPlan::stressed(int victims, sim::StressParams params) {
+  AnomalyPlan p;
+  p.kind = AnomalyKind::kStress;
+  p.victims = victims;
+  p.stress = params;
+  return p;
+}
+
+AnomalyPlan AnomalyPlan::partition(int island_size, Duration heal_after) {
+  AnomalyPlan p;
+  p.kind = AnomalyKind::kPartition;
+  p.victims = island_size;
+  p.duration = heal_after;
+  return p;
+}
+
+AnomalyPlan AnomalyPlan::flapping(int victims, Duration duration,
+                                  Duration interval) {
+  AnomalyPlan p;
+  p.kind = AnomalyKind::kFlapping;
+  p.victims = victims;
+  p.duration = duration;
+  p.interval = interval;
+  return p;
+}
+
+AnomalyPlan AnomalyPlan::churn(int victims, Duration downtime,
+                               Duration uptime) {
+  AnomalyPlan p;
+  p.kind = AnomalyKind::kChurn;
+  p.victims = victims;
+  p.duration = downtime;
+  p.interval = uptime;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+namespace {
+
+std::string secs(Duration d) {
+  std::ostringstream os;
+  os << d.seconds() << " s";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> Scenario::validate() const {
+  std::vector<std::string> errors;
+  auto fail = [&errors](const std::string& msg) { errors.push_back(msg); };
+
+  if (name.empty()) {
+    fail("name must be non-empty — it is the registry key and the "
+         "--scenario identifier");
+  }
+  if (cluster_size < 2) {
+    fail("cluster_size (" + std::to_string(cluster_size) +
+         ") must be >= 2 — a failure detector needs at least one peer to "
+         "probe");
+  }
+  if (cluster_size > 4096) {
+    fail("cluster_size (" + std::to_string(cluster_size) +
+         ") is above the supported 4096 — the simulator allocates per-node "
+         "state eagerly; shard the experiment instead");
+  }
+  if (quiesce.is_negative()) {
+    fail("quiesce (" + secs(quiesce) + ") must be >= 0");
+  }
+  if (run_length <= Duration{0}) {
+    fail("run_length (" + secs(run_length) +
+         ") must be > 0 — it is the observation window after anomaly start");
+  }
+  if (msg_proc_cost.is_negative()) {
+    fail("msg_proc_cost (" + secs(msg_proc_cost) + ") must be >= 0");
+  }
+  if (network.udp_loss < 0.0 || network.udp_loss > 1.0) {
+    fail("network.udp_loss (" + std::to_string(network.udp_loss) +
+         ") must be a probability in [0, 1]");
+  }
+  if (network.latency_min.is_negative() ||
+      network.latency_min > network.latency_max) {
+    fail("network latency range [" + secs(network.latency_min) + ", " +
+         secs(network.latency_max) +
+         "] must satisfy 0 <= latency_min <= latency_max");
+  }
+
+  const AnomalyPlan& a = anomaly;
+  const std::string kind = anomaly_kind_name(a.kind);
+  if (a.victims < 0) {
+    fail("anomaly.victims (" + std::to_string(a.victims) + ") must be >= 0");
+  }
+  if (a.kind == AnomalyKind::kNone) {
+    if (a.victims != 0) {
+      fail("anomaly.victims (" + std::to_string(a.victims) +
+           ") must be 0 for kind 'none' — pick an anomaly kind to afflict "
+           "members");
+    }
+    return errors;
+  }
+
+  if (a.victims == 0) {
+    fail("anomaly.victims must be >= 1 for kind '" + kind +
+         "' — use AnomalyKind::kNone for a healthy baseline run");
+  }
+  if (a.victims > cluster_size) {
+    fail("anomaly.victims (" + std::to_string(a.victims) +
+         ") must be <= cluster_size (" + std::to_string(cluster_size) + ")");
+  }
+
+  switch (a.kind) {
+    case AnomalyKind::kThreshold:
+      if (a.duration <= Duration{0}) {
+        fail("anomaly.duration (" + secs(a.duration) +
+             ") must be > 0 for kind 'threshold' — it is the length D of "
+             "the synchronized block");
+      }
+      break;
+    case AnomalyKind::kInterval:
+    case AnomalyKind::kFlapping:
+      if (a.duration <= Duration{0}) {
+        fail("anomaly.duration (" + secs(a.duration) +
+             ") must be > 0 for kind '" + kind +
+             "' — it is the blocked span D of each cycle");
+      }
+      if (a.interval <= Duration{0}) {
+        fail("anomaly.interval (" + secs(a.interval) +
+             ") must be > 0 for kind '" + kind +
+             "' — it is the open window I between blocks; use 'threshold' "
+             "for one uninterrupted block");
+      }
+      break;
+    case AnomalyKind::kStress:
+      if (a.stress.block_min <= Duration{0} ||
+          a.stress.block_min > a.stress.block_max) {
+        fail("anomaly.stress block range [" + secs(a.stress.block_min) +
+             ", " + secs(a.stress.block_max) +
+             "] must satisfy 0 < block_min <= block_max (spans are drawn "
+             "log-uniform)");
+      }
+      if (a.stress.run_min <= Duration{0} ||
+          a.stress.run_min > a.stress.run_max) {
+        fail("anomaly.stress run range [" + secs(a.stress.run_min) + ", " +
+             secs(a.stress.run_max) +
+             "] must satisfy 0 < run_min <= run_max (spans are drawn "
+             "log-uniform)");
+      }
+      break;
+    case AnomalyKind::kPartition:
+      if (a.victims >= cluster_size) {
+        fail("anomaly.victims (" + std::to_string(a.victims) +
+             ") is the island size and must be <= cluster_size - 1 (" +
+             std::to_string(cluster_size - 1) +
+             ") — a partition needs members on both sides");
+      }
+      if (a.duration <= Duration{0}) {
+        fail("anomaly.duration (" + secs(a.duration) +
+             ") must be > 0 for kind 'partition' — it is how long the "
+             "split lasts before healing");
+      } else if (a.duration > run_length) {
+        fail("anomaly.duration (" + secs(a.duration) +
+             ") must be <= run_length (" + secs(run_length) +
+             ") for kind 'partition' — the heal and re-merge must fall "
+             "inside the observation window");
+      }
+      break;
+    case AnomalyKind::kChurn:
+      if (a.victims >= cluster_size) {
+        fail("anomaly.victims (" + std::to_string(a.victims) +
+             ") must be <= cluster_size - 1 (" +
+             std::to_string(cluster_size - 1) +
+             ") for kind 'churn' — node 0 is the rejoin seed and is never "
+             "churned");
+      }
+      if (a.duration <= Duration{0} || a.interval <= Duration{0}) {
+        fail("anomaly.duration (" + secs(a.duration) +
+             ") and anomaly.interval (" + secs(a.interval) +
+             ") must both be > 0 for kind 'churn' — downtime after a crash "
+             "and uptime after the restart");
+      }
+      break;
+    case AnomalyKind::kNone:
+      break;  // handled above
+  }
+  return errors;
+}
+
+namespace {
+
+std::string join_errors(const std::vector<std::string>& errors) {
+  std::string out = "invalid scenario:";
+  for (const auto& e : errors) out += "\n  - " + e;
+  return out;
+}
+
+}  // namespace
+
+ScenarioError::ScenarioError(std::vector<std::string> errors)
+    : std::runtime_error(join_errors(errors)), errors_(std::move(errors)) {}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+namespace {
+
+/// Collect FP / FP⁻ counts and latency samples from the per-node event logs
+/// (accounting per §V-F1/F2; see experiment.h for definitions).
+void extract_results(sim::Simulator& sim, const std::vector<int>& victims,
+                     TimePoint anomaly_start, RunResult& out) {
+  std::set<std::string> victim_names;
+  std::set<int> victim_set(victims.begin(), victims.end());
+  for (int v : victims) victim_names.insert("node-" + std::to_string(v));
+
+  // --- false positives ---
+  for (int i = 0; i < sim.size(); ++i) {
+    const bool reporter_is_victim = victim_set.contains(i);
+    for (const auto& e : sim.events(i).events()) {
+      if (e.type != swim::EventType::kFailed || !e.originated) continue;
+      if (e.at < anomaly_start) continue;
+      if (victim_names.contains(e.member)) continue;  // true-ish positive
+      ++out.fp_events;
+      if (!reporter_is_victim) ++out.fp_healthy_events;
+    }
+  }
+
+  // --- detection / dissemination latency for the anomalous members ---
+  for (int v : victims) {
+    const std::string name = "node-" + std::to_string(v);
+    double first = -1.0;
+    bool all_healthy_marked = true;
+    double last_healthy_mark = -1.0;
+    for (int i = 0; i < sim.size(); ++i) {
+      if (i == v) continue;
+      double mark = -1.0;  // first time node i marked `name` failed
+      for (const auto& e : sim.events(i).events()) {
+        if (e.type != swim::EventType::kFailed || e.member != name) continue;
+        if (e.at < anomaly_start) continue;
+        const double t = (e.at - anomaly_start).seconds();
+        if (mark < 0) mark = t;
+        if (e.originated && (first < 0 || t < first)) first = t;
+      }
+      if (!victim_set.contains(i)) {
+        if (mark < 0) {
+          all_healthy_marked = false;
+        } else {
+          last_healthy_mark = std::max(last_healthy_mark, mark);
+        }
+      }
+    }
+    if (first >= 0) out.first_detect.push_back(first);
+    if (first >= 0 && all_healthy_marked && last_healthy_mark >= 0) {
+      out.full_dissem.push_back(last_healthy_mark);
+    }
+  }
+
+  // --- load ---
+  out.metrics = sim.aggregate_metrics();
+  out.msgs_sent = out.metrics.counter_value("net.msgs_sent");
+  out.bytes_sent = out.metrics.counter_value("net.bytes_sent");
+}
+
+/// Churn victims: drawn from [1, n) — node 0 is the rejoin seed.
+std::vector<int> pick_churn_victims(sim::Simulator& sim, int count) {
+  std::vector<int> candidates;
+  for (int i = 1; i < sim.size(); ++i) candidates.push_back(i);
+  sim.rng().shuffle(candidates);
+  if (count > static_cast<int>(candidates.size())) {
+    count = static_cast<int>(candidates.size());
+  }
+  candidates.resize(static_cast<std::size_t>(count));
+  return candidates;
+}
+
+}  // namespace
+
+Duration cycle_aligned_length(Duration run_length, Duration duration,
+                              Duration interval) {
+  const Duration cycle = duration + interval;
+  if (cycle <= Duration{0}) return run_length;
+  const std::int64_t cycles = (run_length.us + cycle.us - 1) / cycle.us;
+  return cycle * cycles;
+}
+
+RunResult run(const Scenario& s) {
+  if (auto errors = s.validate(); !errors.empty()) {
+    throw ScenarioError(std::move(errors));
+  }
+
+  auto cluster = ClusterBuilder()
+                     .size(s.cluster_size)
+                     .config(s.config)
+                     .seed(s.seed)
+                     .network(s.network)
+                     .msg_proc_cost(s.msg_proc_cost)
+                     .recv_buffer_bytes(s.recv_buffer_bytes)
+                     .build();
+  sim::Simulator& sim = *cluster->simulator();
+  cluster->start();
+  cluster->run_for(s.quiesce);
+
+  const AnomalyPlan& a = s.anomaly;
+  const std::vector<int> victims =
+      a.kind == AnomalyKind::kChurn ? pick_churn_victims(sim, a.victims)
+                                    : sim::pick_victims(sim, a.victims);
+  const TimePoint start = sim.now();
+  const TimePoint end = start + s.run_length;
+
+  switch (a.kind) {
+    case AnomalyKind::kNone:
+      sim.run_until(end);
+      break;
+
+    case AnomalyKind::kThreshold:
+      sim::schedule_threshold_anomaly(sim, victims, start, a.duration);
+      sim.run_until(end);
+      break;
+
+    case AnomalyKind::kInterval:
+      sim::schedule_interval_anomaly(sim, victims, start, a.duration,
+                                     a.interval, end);
+      // Run to the end of the final scheduled cycle plus a short drain.
+      sim.run_until(start +
+                    cycle_aligned_length(s.run_length, a.duration, a.interval) +
+                    sec(1));
+      break;
+
+    case AnomalyKind::kStress:
+      sim::schedule_stress_anomaly(sim, victims, start, end, a.stress);
+      sim.run_until(end + sec(2));
+      break;
+
+    case AnomalyKind::kPartition: {
+      sim.at(start, [&sim, victims] {
+        for (int v : victims) sim.network().set_partition(v, 1);
+      });
+      sim.at(start + a.duration, [&sim] { sim.network().heal(); });
+      sim.run_until(end + sec(1));
+      break;
+    }
+
+    case AnomalyKind::kFlapping:
+      sim::schedule_flapping_anomaly(sim, victims, start, a.duration,
+                                     a.interval, end);
+      // A phase-shifted final cycle may close up to `duration` past `end`.
+      sim.run_until(end + a.duration + sec(1));
+      break;
+
+    case AnomalyKind::kChurn:
+      sim::schedule_churn_anomaly(sim, victims, start, a.duration, a.interval,
+                                  end);
+      // The last crash before `end` restarts at most `duration` later; give
+      // the rejoin time to disseminate.
+      sim.run_until(end + a.duration + sec(2));
+      break;
+  }
+
+  RunResult out;
+  out.scenario_name = s.name;
+  out.cluster_size = s.cluster_size;
+  out.victims = victims;
+  extract_results(sim, victims, start, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+void ScenarioRegistry::add(Scenario s) {
+  if (auto errors = s.validate(); !errors.empty()) {
+    throw ScenarioError(std::move(errors));
+  }
+  if (find(s.name) != nullptr) {
+    throw ScenarioError({"a scenario named '" + s.name +
+                         "' is already registered — scenario names are "
+                         "unique registry keys"});
+  }
+  scenarios_.push_back(std::move(s));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.name);
+  return out;
+}
+
+namespace {
+
+ScenarioRegistry make_builtin() {
+  ScenarioRegistry reg;
+  auto base = [](std::string name, std::string summary, std::string ref) {
+    Scenario s;
+    s.name = std::move(name);
+    s.summary = std::move(summary);
+    s.paper_ref = std::move(ref);
+    return s;
+  };
+
+  // ---- the paper's evaluation setups ----
+  {
+    Scenario s = base("fig1-cpu-exhaustion",
+                      "100 members, 4 under stochastic CPU starvation for "
+                      "5 minutes; count FP and FP- declarations",
+                      "Fig. 1");
+    s.cluster_size = 100;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::stressed(4);
+    s.run_length = sec(300);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("fig2-total-false-positives",
+                      "Interval anomalies (C=8, D=16.384 s, I=4 ms) under "
+                      "the SWIM baseline; total FP events",
+                      "Fig. 2");
+    s.cluster_size = 128;
+    s.config = swim::Config::swim_baseline();
+    s.anomaly = AnomalyPlan::cycling(8, msec(16384), msec(4));
+    s.run_length = sec(120);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("fig3-fp-at-healthy",
+                      "Same interval workload under full Lifeguard; FP- "
+                      "events at healthy members",
+                      "Fig. 3");
+    s.cluster_size = 128;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::cycling(8, msec(16384), msec(4));
+    s.run_length = sec(120);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("table4-false-positives",
+                      "Representative interval grid point (C=4, D=8 s, "
+                      "I=64 ms) for the FP aggregation",
+                      "Table IV");
+    s.cluster_size = 128;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::cycling(4, sec(8), msec(64));
+    s.run_length = sec(120);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("table5-latency",
+                      "Threshold anomaly (C=4, D=16 s): first-detection and "
+                      "full-dissemination latency",
+                      "Table V");
+    s.cluster_size = 128;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::threshold(4, sec(16));
+    s.run_length = sec(70);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("table6-message-load",
+                      "Low-intensity interval workload; compound message "
+                      "and byte counts",
+                      "Table VI");
+    s.cluster_size = 128;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::cycling(4, sec(8), msec(64));
+    s.run_length = sec(120);
+    s.seed = 2;
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("table7-alpha-beta",
+                      "Aggressive suspicion tuning (alpha=2, beta=6): the "
+                      "latency/FP trade-off point",
+                      "Table VII");
+    s.cluster_size = 128;
+    swim::Config cfg = swim::Config::lifeguard();
+    cfg.suspicion_alpha = 2.0;
+    cfg.suspicion_beta = 6.0;
+    s.config = cfg;
+    s.anomaly = AnomalyPlan::threshold(4, sec(16));
+    s.run_length = sec(70);
+    reg.add(std::move(s));
+  }
+
+  // ---- beyond the paper ----
+  {
+    Scenario s = base("steady-state",
+                      "Healthy 64-member cluster for one minute; baseline "
+                      "message load and zero-FP check",
+                      "");
+    s.cluster_size = 64;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::none();
+    s.run_length = sec(60);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("partition-split-heal",
+                      "8 of 16 members split off for 60 s, then the "
+                      "partition heals and the views re-merge",
+                      "");
+    s.cluster_size = 16;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::partition(8, sec(60));
+    s.run_length = sec(150);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("flapping-overload",
+                      "4 of 64 members flap with unsynchronized 16 s stalls "
+                      "and 5 ms open windows for two minutes",
+                      "");
+    s.cluster_size = 64;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::flapping(4, sec(16), msec(5));
+    s.run_length = sec(120);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("churn-rolling-restarts",
+                      "4 of 32 members crash and rejoin in staggered "
+                      "20 s-down / 40 s-up cycles for two minutes",
+                      "");
+    s.cluster_size = 32;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::churn(4, sec(20), sec(40));
+    s.run_length = sec(120);
+    reg.add(std::move(s));
+  }
+  return reg;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry reg = make_builtin();
+  return reg;
+}
+
+}  // namespace lifeguard::harness

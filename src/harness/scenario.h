@@ -1,0 +1,182 @@
+// Declarative scenario API — the single entry point to the paper's
+// evaluation methodology (§V) and beyond.
+//
+// A Scenario is a plain, reviewable value: cluster shape, protocol
+// configuration, network model, seed, and a composable anomaly plan. One
+// engine, harness::run(Scenario), executes every kind — it subsumes the
+// legacy run_threshold / run_interval / run_stress drivers (now thin shims
+// over it, see experiment.h) and adds partition, flapping and churn
+// workloads that the bespoke drivers could never express.
+//
+// ScenarioRegistry::builtin() catalogs the paper's Fig. 1–3 and Table IV–VII
+// setups plus the new scenario kinds under stable names, so tools
+// (examples/scenario_runner --list / --scenario NAME) and tests run the
+// exact same descriptors.
+//
+// Validation is explicit and actionable: Scenario::validate() returns one
+// message per defect ("anomaly.victims (12) must be <= cluster_size (8)...")
+// and run() refuses invalid descriptors with a ScenarioError carrying all of
+// them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "sim/anomaly.h"
+#include "sim/network.h"
+#include "swim/config.h"
+
+namespace lifeguard::harness {
+
+// ---------------------------------------------------------------------------
+// Anomaly plan
+
+enum class AnomalyKind : std::uint8_t {
+  kNone = 0,       ///< healthy steady state (load / convergence baselines)
+  kThreshold,      ///< one synchronized block of duration D (§V-D1)
+  kInterval,       ///< lock-step D-blocked / I-open cycles (§V-D2)
+  kStress,         ///< randomized CPU-starvation cycles (§II, Fig. 1)
+  kPartition,      ///< an island splits off, then the partition heals
+  kFlapping,       ///< per-victim unsynchronized D/I cycles
+  kChurn,          ///< victims crash and rejoin in cycles
+};
+
+const char* anomaly_kind_name(AnomalyKind k);
+std::optional<AnomalyKind> anomaly_kind_from_name(std::string_view name);
+
+/// What goes wrong during a run. The meaning of `duration` / `interval`
+/// depends on `kind`; the factory helpers document each shape.
+struct AnomalyPlan {
+  AnomalyKind kind = AnomalyKind::kNone;
+  /// How many members are afflicted (the anomaly set; C in the paper).
+  int victims = 0;
+  /// kThreshold/kInterval/kFlapping: blocked span D. kPartition: how long
+  /// the split lasts. kChurn: downtime between crash and restart.
+  Duration duration{};
+  /// kInterval/kFlapping: open window I between blocks. kChurn: uptime
+  /// between restart and the next crash. Unused otherwise.
+  Duration interval{};
+  /// kStress only: block/run span distributions.
+  sim::StressParams stress;
+
+  static AnomalyPlan none();
+  static AnomalyPlan threshold(int victims, Duration duration);
+  static AnomalyPlan cycling(int victims, Duration duration,
+                             Duration interval);
+  static AnomalyPlan stressed(int victims, sim::StressParams params = {});
+  static AnomalyPlan partition(int island_size, Duration heal_after);
+  static AnomalyPlan flapping(int victims, Duration duration,
+                              Duration interval);
+  static AnomalyPlan churn(int victims, Duration downtime, Duration uptime);
+};
+
+// ---------------------------------------------------------------------------
+// Scenario descriptor
+
+struct Scenario {
+  /// Stable identifier (registry key, --scenario flag). Lowercase kebab-case.
+  std::string name;
+  /// One-line human description.
+  std::string summary;
+  /// Paper anchor ("Fig. 1", "Table V", ...); empty for post-paper kinds.
+  std::string paper_ref;
+
+  int cluster_size = 64;
+  /// Settling time before the anomaly begins (paper: 15 s).
+  Duration quiesce = sec(15);
+  swim::Config config;
+  /// Paper-testbed-like loopback latency and a small datagram loss rate.
+  sim::NetworkParams network{usec(200), msec(2), 0.01};
+  /// Virtual CPU cost per inbound message once a backlog exists.
+  Duration msg_proc_cost = usec(5);
+  /// Simulated kernel receive-buffer bound per node.
+  std::size_t recv_buffer_bytes = 256 * 1024;
+  std::uint64_t seed = 1;
+
+  AnomalyPlan anomaly;
+  /// Observation window measured from anomaly start (the cycling kinds keep
+  /// injecting until it closes; see the engine for per-kind drain details).
+  Duration run_length = sec(60);
+
+  /// Empty when the descriptor is runnable; otherwise one actionable message
+  /// per defect.
+  std::vector<std::string> validate() const;
+};
+
+/// Thrown by run() / ScenarioRegistry::add() on invalid descriptors.
+/// what() joins all messages; errors() has them individually.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(std::vector<std::string> errors);
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::vector<std::string> errors_;
+};
+
+// ---------------------------------------------------------------------------
+// Results
+
+struct RunResult {
+  std::string scenario_name;
+  int cluster_size = 0;
+  std::vector<int> victims;  ///< anomaly set (node indices)
+
+  // -- false positives (§V-F1) --
+  std::int64_t fp_events = 0;          ///< FP: originated, healthy subject
+  std::int64_t fp_healthy_events = 0;  ///< FP⁻: and healthy originator
+
+  // -- true-positive latency, seconds (§V-F2) --
+  std::vector<double> first_detect;  ///< one sample per detected victim
+  std::vector<double> full_dissem;   ///< one sample per fully disseminated
+
+  // -- message load (§V-F3) --
+  std::int64_t msgs_sent = 0;
+  std::int64_t bytes_sent = 0;
+
+  /// Full aggregated metrics for deeper inspection.
+  Metrics metrics;
+};
+
+/// The engine: validate, build a simulated cluster through ClusterBuilder,
+/// quiesce, inject the anomaly plan, observe, and extract the paper's
+/// metrics. Throws ScenarioError when validate() is non-empty.
+RunResult run(const Scenario& s);
+
+/// "The test ends at the end of the next anomalous period" (§V-D2):
+/// `run_length` rounded up to whole (duration + interval) cycles. Used by
+/// the kInterval engine and by the legacy-shim mapping — one definition so
+/// shim parity cannot drift.
+Duration cycle_aligned_length(Duration run_length, Duration duration,
+                              Duration interval);
+
+// ---------------------------------------------------------------------------
+// Registry
+
+class ScenarioRegistry {
+ public:
+  /// The built-in catalog: every paper figure/table setup plus the new
+  /// partition / flapping / churn kinds. Names are stable public API.
+  static const ScenarioRegistry& builtin();
+
+  ScenarioRegistry() = default;
+
+  /// Validates and inserts; throws ScenarioError on an invalid descriptor or
+  /// a duplicate name.
+  void add(Scenario s);
+  /// nullptr when unknown.
+  const Scenario* find(std::string_view name) const;
+  std::vector<std::string> names() const;
+  const std::vector<Scenario>& all() const { return scenarios_; }
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace lifeguard::harness

@@ -94,6 +94,8 @@ IntervalSweepResult sweep_interval(const swim::Config& cfg, const Grid& grid,
     for (Duration d : grid.durations) {
       for (Duration i : grid.intervals) {
         for (int rep = 0; rep < grid.repetitions; ++rep) {
+          // Build through the shim mapping so c == 0 (healthy baseline)
+          // keeps its legacy meaning.
           IntervalParams p;
           p.base.cluster_size = grid.cluster_size;
           p.base.quiesce = grid.quiesce;
@@ -103,7 +105,9 @@ IntervalSweepResult sweep_interval(const swim::Config& cfg, const Grid& grid,
           p.duration = d;
           p.interval = i;
           p.test_length = grid.test_length;
-          const RunResult r = run_interval(p);
+          Scenario sc = to_scenario(p);
+          sc.name = "sweep-interval";
+          const RunResult r = run(sc);
           agg.fp += r.fp_events;
           agg.fpm += r.fp_healthy_events;
           agg.msgs += r.msgs_sent;
@@ -138,7 +142,9 @@ ThresholdSweepResult sweep_threshold(const swim::Config& cfg, const Grid& grid,
         p.concurrent = c;
         p.duration = d;
         p.observe = grid.observe;
-        const RunResult r = run_threshold(p);
+        Scenario sc = to_scenario(p);
+        sc.name = "sweep-threshold";
+        const RunResult r = run(sc);
         for (double s : r.first_detect) agg.first_detect.record(s);
         for (double s : r.full_dissem) agg.full_dissem.record(s);
         ++agg.runs;

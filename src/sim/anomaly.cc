@@ -85,4 +85,36 @@ void schedule_stress_anomaly(Simulator& sim, const std::vector<int>& victims,
   }
 }
 
+void schedule_flapping_anomaly(Simulator& sim, const std::vector<int>& victims,
+                               TimePoint start, Duration duration,
+                               Duration interval, TimePoint end) {
+  const Duration cycle = duration + interval;
+  if (cycle <= Duration{0}) return;
+  for (int v : victims) {
+    // Independent phase per victim: this is what distinguishes flapping from
+    // the lock-step interval schedule.
+    const Duration phase{sim.rng().uniform_range(0, cycle.us - 1)};
+    TimePoint t = start + phase;
+    while (t < end) {
+      schedule_threshold_anomaly(sim, {v}, t, duration);
+      t = t + cycle;
+    }
+  }
+}
+
+void schedule_churn_anomaly(Simulator& sim, const std::vector<int>& victims,
+                            TimePoint start, Duration downtime,
+                            Duration uptime, TimePoint end) {
+  const Duration cycle = downtime + uptime;
+  if (cycle <= Duration{0}) return;
+  for (int v : victims) {
+    if (v == 0) continue;  // node 0 is the rejoin seed; never churn it
+    const Duration phase{sim.rng().uniform_range(0, cycle.us - 1)};
+    for (TimePoint t = start + phase; t < end; t = t + cycle) {
+      sim.at(t, [&sim, v] { sim.crash_node(v); });
+      sim.at(t + downtime, [&sim, v] { sim.restart_node(v); });
+    }
+  }
+}
+
 }  // namespace lifeguard::sim

@@ -46,4 +46,22 @@ void schedule_stress_anomaly(Simulator& sim, const std::vector<int>& victims,
                              TimePoint start, TimePoint end,
                              StressParams params);
 
+/// Flapping: like the interval schedule but *unsynchronized* — each victim
+/// cycles blocked-for-`duration` / open-for-`interval` with its own random
+/// initial phase (drawn from one full cycle). Models independent overloaded
+/// members rather than a correlated rack-level event; victims end unblocked.
+void schedule_flapping_anomaly(Simulator& sim, const std::vector<int>& victims,
+                               TimePoint start, Duration duration,
+                               Duration interval, TimePoint end);
+
+/// Churn: each victim cycles crash (hard kill) for `downtime`, then restart +
+/// rejoin for `uptime`, phase-staggered, until `end`; the final restart of a
+/// cycle begun before `end` still happens (at most `downtime` later), so a
+/// short drain after `end` leaves everyone running. Node 0 is the rejoin seed
+/// and is never churned. Exercises join/refute/incarnation paths under
+/// sustained member turnover.
+void schedule_churn_anomaly(Simulator& sim, const std::vector<int>& victims,
+                            TimePoint start, Duration downtime,
+                            Duration uptime, TimePoint end);
+
 }  // namespace lifeguard::sim

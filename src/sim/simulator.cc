@@ -9,11 +9,12 @@ Address sim_address(int node_index) {
 }
 
 Simulator::Simulator(int num_nodes, const swim::Config& cfg, SimParams params)
-    : rng_(params.seed) {
+    : rng_(params.seed), cfg_(cfg) {
   network_ = std::make_unique<Network>(params.network, num_nodes, rng_.fork());
   runtimes_.reserve(static_cast<std::size_t>(num_nodes));
   listeners_.reserve(static_cast<std::size_t>(num_nodes));
   nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  subscriptions_.resize(static_cast<std::size_t>(num_nodes));
   crashed_.assign(static_cast<std::size_t>(num_nodes), false);
   for (int i = 0; i < num_nodes; ++i) {
     const Address addr = sim_address(i);
@@ -22,11 +23,21 @@ Simulator::Simulator(int num_nodes, const swim::Config& cfg, SimParams params)
         params.recv_buffer_bytes));
     listeners_.push_back(std::make_unique<swim::RecordingListener>());
     nodes_.push_back(std::make_unique<swim::Node>(
-        "node-" + std::to_string(i), addr, cfg, *runtimes_.back(),
-        listeners_.back().get()));
-    swim::Node* node = nodes_.back().get();
-    runtimes_.back()->attach(node, [node] { node->on_unblocked(); });
+        "node-" + std::to_string(i), addr, cfg_, *runtimes_.back()));
+    attach_node(i);
   }
+}
+
+void Simulator::attach_node(int index) {
+  const auto i = static_cast<std::size_t>(index);
+  swim::Node* node = nodes_[i].get();
+  swim::RecordingListener* rec = listeners_[i].get();
+  swim::EventBus* bus = &bus_;
+  subscriptions_[i] = node->subscribe([rec, bus](const swim::MemberEvent& e) {
+    rec->on_event(e);
+    bus->publish(e);
+  });
+  runtimes_[i]->attach(node, [node] { node->on_unblocked(); });
 }
 
 Simulator::~Simulator() {
@@ -81,6 +92,21 @@ void Simulator::crash_node(int index) {
   nodes_[static_cast<std::size_t>(index)]->stop();
 }
 
+void Simulator::restart_node(int index) {
+  const auto i = static_cast<std::size_t>(index);
+  retired_metrics_.merge(nodes_[i]->metrics());
+  crashed_[i] = false;
+  runtimes_[i]->set_blocked(false);
+  const Address addr = sim_address(index);
+  nodes_[i] = std::make_unique<swim::Node>("node-" + std::to_string(index),
+                                           addr, cfg_, *runtimes_[i]);
+  attach_node(index);
+  nodes_[i]->start();
+  // Rejoin through node 0 (it learns of its stale dead entry via push-pull
+  // and refutes with a higher incarnation).
+  if (index != 0) nodes_[i]->join({sim_address(0)});
+}
+
 void Simulator::at(TimePoint t, std::function<void()> fn) {
   queue_.push(t, std::move(fn));
 }
@@ -111,6 +137,7 @@ int Simulator::index_of(const Address& addr) const {
 
 Metrics Simulator::aggregate_metrics() const {
   Metrics out;
+  out.merge(retired_metrics_);
   for (const auto& node : nodes_) out.merge(node->metrics());
   out.merge(network_->metrics());
   return out;

@@ -66,6 +66,11 @@ class Simulator {
   // ---- crash/stop (true failures) ----
   /// Hard-kill: the node stops processing everything (process death).
   void crash_node(int index);
+  /// Replace a crashed node with a fresh process at the same address (clean
+  /// state, incarnation 0) and have it rejoin through node 0. The recorded
+  /// event log of the previous incarnation is retained. Models the churn of
+  /// an orchestrator restarting a failed agent.
+  void restart_node(int index);
 
   // ---- access ----
   TimePoint now() const { return now_; }
@@ -80,6 +85,9 @@ class Simulator {
   const swim::RecordingListener& events(int index) const {
     return *listeners_[static_cast<std::size_t>(index)];
   }
+  /// Cluster-wide feed of every node's membership events; survives
+  /// restart_node (new incarnations are re-attached).
+  swim::EventBus& event_bus() { return bus_; }
   Network& network() { return *network_; }
   EventQueue& queue() { return queue_; }
   Rng& rng() { return rng_; }
@@ -98,14 +106,22 @@ class Simulator {
  private:
   int index_of(const Address& addr) const;
 
+  /// Wire node `index`'s event bus to its RecordingListener.
+  void attach_node(int index);
+
   TimePoint now_{};
   EventQueue queue_;
   Rng rng_;
+  swim::Config cfg_;
+  swim::EventBus bus_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<SimRuntime>> runtimes_;
   std::vector<std::unique_ptr<swim::RecordingListener>> listeners_;
   std::vector<std::unique_ptr<swim::Node>> nodes_;
+  std::vector<swim::EventBus::Subscription> subscriptions_;
   std::vector<bool> crashed_;
+  /// Metrics of node incarnations retired by restart_node.
+  Metrics retired_metrics_;
   std::int64_t datagrams_routed_ = 0;
 };
 

@@ -1,6 +1,104 @@
 #include "swim/events.h"
 
+#include <atomic>
+#include <thread>
+
 namespace lifeguard::swim {
+
+/// One registered handler. The per-slot mutex serializes invocations and is
+/// the barrier reset() takes: locking it after clearing `active` proves no
+/// call is in flight and none will start.
+struct EventBus::Subscription::Slot {
+  std::mutex call_mu;
+  std::atomic<bool> active{true};
+  /// Thread currently inside the handler (so a self-reset from within the
+  /// handler skips the barrier instead of deadlocking on call_mu).
+  std::atomic<std::thread::id> running{};
+  Handler fn;
+};
+
+struct EventBus::Subscription::State {
+  mutable std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<Slot>>> subs;
+  std::uint64_t next_id = 1;
+};
+
+void EventBus::Subscription::reset() {
+  if (auto state = state_.lock()) {
+    std::shared_ptr<Slot> slot;
+    {
+      const std::lock_guard<std::mutex> lock(state->mu);
+      for (auto& [id, s] : state->subs) {
+        if (id == id_) {
+          slot = s;
+          break;
+        }
+      }
+      std::erase_if(state->subs,
+                    [this](const auto& s) { return s.first == id_; });
+    }
+    if (slot) {
+      slot->active.store(false);
+      if (slot->running.load() != std::this_thread::get_id()) {
+        // Barrier: wait out an in-flight call on another thread. After this
+        // returns the handler cannot run again (publish re-checks `active`
+        // under call_mu).
+        const std::lock_guard<std::mutex> barrier(slot->call_mu);
+      }
+    }
+  }
+  state_.reset();
+}
+
+EventBus::EventBus() : state_(std::make_shared<Subscription::State>()) {}
+
+EventBus::Subscription EventBus::subscribe(Handler fn) {
+  auto slot = std::make_shared<Subscription::Slot>();
+  slot->fn = std::move(fn);
+  const std::lock_guard<std::mutex> lock(state_->mu);
+  const std::uint64_t id = state_->next_id++;
+  state_->subs.emplace_back(id, std::move(slot));
+  return Subscription(state_, id);
+}
+
+void EventBus::publish(const MemberEvent& e) const {
+  // Snapshot the slots under the bus lock, invoke outside it: a handler may
+  // subscribe or unsubscribe (even itself) without deadlocking. Fast paths
+  // avoid heap traffic for the common 0- and 1-subscriber buses (every
+  // membership event on the simulator's hot path lands here twice).
+  using Slot = Subscription::Slot;
+  auto invoke = [&e](Slot& slot) {
+    if (!slot.active.load()) return;
+    const std::lock_guard<std::mutex> lock(slot.call_mu);
+    if (!slot.active.load()) return;  // reset() won the race
+    slot.running.store(std::this_thread::get_id());
+    slot.fn(e);
+    slot.running.store(std::thread::id{});
+  };
+
+  std::shared_ptr<Slot> single;
+  std::vector<std::shared_ptr<Slot>> many;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->subs.empty()) return;
+    if (state_->subs.size() == 1) {
+      single = state_->subs.front().second;
+    } else {
+      many.reserve(state_->subs.size());
+      for (const auto& [_, slot] : state_->subs) many.push_back(slot);
+    }
+  }
+  if (single) {
+    invoke(*single);
+  } else {
+    for (const auto& slot : many) invoke(*slot);
+  }
+}
+
+std::size_t EventBus::subscriber_count() const {
+  const std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->subs.size();
+}
 
 const char* event_type_name(EventType t) {
   switch (t) {

@@ -1,15 +1,23 @@
 // Cluster event reporting.
 //
-// Every local membership state transition is reported through an
-// EventListener. The harness uses `originated` to distinguish a *failure
-// event* (this node's own suspicion timeout declared the member dead — what
-// the paper counts as a false positive when the member is healthy) from mere
-// dissemination (applying a gossiped dead). RecordingListener retains events
-// for post-run analysis.
+// Every local membership state transition is published on the node's
+// EventBus; any number of observers attach with subscribe(), which returns a
+// RAII Subscription handle. The harness uses `originated` to distinguish a
+// *failure event* (this node's own suspicion timeout declared the member
+// dead — what the paper counts as a false positive when the member is
+// healthy) from mere dissemination (applying a gossiped dead).
+// RecordingListener retains events for post-run analysis.
+//
+// EventListener remains as a deprecated adapter for one release: a raw
+// listener pointer passed to swim::Node is simply subscribed on the bus.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -38,10 +46,79 @@ struct MemberEvent {
   bool originated = false;
 };
 
+/// Deprecated single-observer interface; prefer EventBus::subscribe(). Kept
+/// for one release so existing listeners keep working unchanged.
 class EventListener {
  public:
   virtual ~EventListener() = default;
   virtual void on_event(const MemberEvent& e) = 0;
+};
+
+/// Multi-subscriber event fan-out with RAII unsubscription.
+///
+/// Thread-safety: subscribe/unsubscribe/publish may race across threads (a
+/// UDP cluster publishes from several runtime loop threads); callbacks run
+/// on the publishing thread, outside the bus lock. A Subscription outliving
+/// its bus is safe (it holds only a weak reference) and vice versa.
+/// Invocations of one handler are serialized, and reset()/destruction
+/// blocks until any in-flight call of *that* handler (on another thread)
+/// returns — so once reset() returns the handler will not run again and its
+/// captures may be destroyed. A handler resetting its own subscription does
+/// not block on itself. Caveat: do not reset subscription A from inside
+/// subscription B's handler while another thread may do the reverse — such
+/// crossing barriers can deadlock.
+class EventBus {
+ public:
+  using Handler = std::function<void(const MemberEvent&)>;
+
+  /// RAII handle: destroying (or reset()-ing) it detaches the handler.
+  /// Move-only; a default-constructed handle is empty.
+  class Subscription {
+   public:
+    Subscription() = default;
+    Subscription(Subscription&& o) noexcept { *this = std::move(o); }
+    Subscription& operator=(Subscription&& o) noexcept {
+      if (this != &o) {
+        reset();
+        state_ = std::move(o.state_);
+        id_ = o.id_;
+        o.state_.reset();
+      }
+      return *this;
+    }
+    ~Subscription() { reset(); }
+
+    Subscription(const Subscription&) = delete;
+    Subscription& operator=(const Subscription&) = delete;
+
+    /// Detach now; idempotent.
+    void reset();
+    /// True while the handler is attached to a live bus.
+    bool active() const { return !state_.expired(); }
+
+   private:
+    friend class EventBus;
+    struct State;
+    struct Slot;
+    Subscription(std::weak_ptr<State> state, std::uint64_t id)
+        : state_(std::move(state)), id_(id) {}
+    std::weak_ptr<State> state_;
+    std::uint64_t id_ = 0;
+  };
+
+  EventBus();
+
+  /// Attach `fn`; it receives every subsequent publish() until the returned
+  /// Subscription is destroyed.
+  [[nodiscard]] Subscription subscribe(Handler fn);
+
+  /// Deliver `e` to every current subscriber, in subscription order.
+  void publish(const MemberEvent& e) const;
+
+  std::size_t subscriber_count() const;
+
+ private:
+  std::shared_ptr<Subscription::State> state_;
 };
 
 /// Appends every event to a vector (per-node; single-threaded).

@@ -13,7 +13,6 @@ Node::Node(std::string name, Address addr, Config cfg, Runtime& rt,
       addr_(addr),
       cfg_(cfg),
       rt_(rt),
-      listener_(listener),
       table_(name_),
       bcast_(cfg.retransmit_mult),
       health_(cfg.lhm_max, cfg.lha_probe),
@@ -23,6 +22,12 @@ Node::Node(std::string name, Address addr, Config cfg, Runtime& rt,
         bcast_, [this](const std::string& t) { return buddy_frame(t); });
   } else {
     piggyback_ = std::make_unique<DefaultPiggyback>(bcast_);
+  }
+  if (listener != nullptr) {
+    legacy_listener_sub_ =
+        events_.subscribe([listener](const MemberEvent& e) {
+          listener->on_event(e);
+        });
   }
 }
 

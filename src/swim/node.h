@@ -42,8 +42,9 @@ namespace lifeguard::swim {
 
 class Node : public PacketHandler {
  public:
-  /// `listener` may be null (events are dropped). The listener must outlive
-  /// the node.
+  /// Membership transitions are published on events(); attach observers with
+  /// subscribe(). `listener` is a deprecated convenience — a non-null pointer
+  /// is auto-subscribed and must outlive the node.
   Node(std::string name, Address addr, Config cfg, Runtime& rt,
        EventListener* listener = nullptr);
   ~Node() override;
@@ -69,6 +70,14 @@ class Node : public PacketHandler {
   /// Invoked by the simulator when an injected anomaly ends; re-enables the
   /// stalled probe/gossip loops.
   void on_unblocked();
+
+  // ---- events ----
+  /// Bus carrying every membership transition this node observes.
+  const EventBus& events() const { return events_; }
+  /// Shorthand for events().subscribe(fn).
+  [[nodiscard]] EventBus::Subscription subscribe(EventBus::Handler fn) {
+    return events_.subscribe(std::move(fn));
+  }
 
   // ---- introspection ----
   const std::string& name() const { return name_; }
@@ -157,7 +166,9 @@ class Node : public PacketHandler {
   Address addr_;
   Config cfg_;
   Runtime& rt_;
-  EventListener* listener_;
+  EventBus events_;
+  /// Keeps a legacy constructor-passed EventListener attached to the bus.
+  EventBus::Subscription legacy_listener_sub_;
 
   MembershipTable table_;
   proto::BroadcastQueue bcast_;

@@ -7,7 +7,6 @@ namespace lifeguard::swim {
 
 void Node::emit(EventType type, const Member& m, const std::string& origin,
                 bool originated) {
-  if (listener_ == nullptr) return;
   MemberEvent e;
   e.at = rt_.now();
   e.type = type;
@@ -16,7 +15,7 @@ void Node::emit(EventType type, const Member& m, const std::string& origin,
   e.origin = origin;
   e.incarnation = m.incarnation;
   e.originated = originated;
-  listener_->on_event(e);
+  events_.publish(e);
 }
 
 void Node::on_alive_msg(const proto::Alive& a) {

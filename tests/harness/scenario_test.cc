@@ -1,0 +1,291 @@
+// Scenario API: validation messages, the built-in registry, the run()
+// engine, and parity between the legacy driver shims and run(Scenario).
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace lifeguard::harness {
+namespace {
+
+/// True when some validation error mentions `needle`.
+bool mentions(const std::vector<std::string>& errors,
+              const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(), [&](const std::string& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+Scenario tiny_valid() {
+  Scenario s;
+  s.name = "tiny";
+  s.cluster_size = 8;
+  s.quiesce = sec(10);
+  s.config = swim::Config::lifeguard();
+  s.anomaly = AnomalyPlan::threshold(2, sec(16));
+  s.run_length = sec(30);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+TEST(ScenarioValidation, ValidDescriptorHasNoErrors) {
+  EXPECT_TRUE(tiny_valid().validate().empty());
+}
+
+TEST(ScenarioValidation, MissingNameAndBadSizeAreBothReported) {
+  Scenario s = tiny_valid();
+  s.name.clear();
+  s.cluster_size = 1;
+  const auto errors = s.validate();
+  EXPECT_GE(errors.size(), 2u);  // plus victims no longer fitting the cluster
+  EXPECT_TRUE(mentions(errors, "name must be non-empty"));
+  EXPECT_TRUE(mentions(errors, "cluster_size (1) must be >= 2"));
+}
+
+TEST(ScenarioValidation, VictimCountMustFitCluster) {
+  Scenario s = tiny_valid();
+  s.anomaly.victims = 12;
+  EXPECT_TRUE(mentions(s.validate(), "must be <= cluster_size (8)"));
+  s.anomaly.victims = 0;
+  EXPECT_TRUE(mentions(s.validate(), "use AnomalyKind::kNone"));
+}
+
+TEST(ScenarioValidation, NoneKindRejectsVictims) {
+  Scenario s = tiny_valid();
+  s.anomaly = AnomalyPlan::none();
+  s.anomaly.victims = 3;
+  EXPECT_TRUE(mentions(s.validate(), "must be 0 for kind 'none'"));
+}
+
+TEST(ScenarioValidation, CyclingKindsNeedPositiveSpans) {
+  Scenario s = tiny_valid();
+  s.anomaly = AnomalyPlan::cycling(2, Duration{0}, Duration{0});
+  const auto errors = s.validate();
+  EXPECT_TRUE(mentions(errors, "anomaly.duration"));
+  EXPECT_TRUE(mentions(errors, "anomaly.interval"));
+  EXPECT_TRUE(mentions(errors, "blocked span D"));
+}
+
+TEST(ScenarioValidation, PartitionNeedsBothSidesAndInWindowHeal) {
+  Scenario s = tiny_valid();
+  s.anomaly = AnomalyPlan::partition(8, sec(10));
+  EXPECT_TRUE(mentions(s.validate(), "members on both sides"));
+  s.anomaly = AnomalyPlan::partition(4, sec(60));
+  EXPECT_TRUE(mentions(s.validate(), "must be <= run_length"));
+}
+
+TEST(ScenarioValidation, ChurnReservesTheSeedNode) {
+  Scenario s = tiny_valid();
+  s.anomaly = AnomalyPlan::churn(8, sec(10), sec(10));
+  EXPECT_TRUE(mentions(s.validate(), "rejoin seed"));
+}
+
+TEST(ScenarioValidation, StressRangesMustBeOrdered) {
+  Scenario s = tiny_valid();
+  sim::StressParams sp;
+  sp.block_min = sec(10);
+  sp.block_max = sec(2);
+  s.anomaly = AnomalyPlan::stressed(2, sp);
+  EXPECT_TRUE(mentions(s.validate(), "block_min <= block_max"));
+}
+
+TEST(ScenarioValidation, NetworkLossMustBeProbability) {
+  Scenario s = tiny_valid();
+  s.network.udp_loss = 1.5;
+  EXPECT_TRUE(mentions(s.validate(), "udp_loss"));
+}
+
+TEST(ScenarioValidation, RunRefusesInvalidDescriptorWithAllErrors) {
+  Scenario s = tiny_valid();
+  s.name.clear();
+  s.run_length = Duration{0};
+  try {
+    run(s);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.errors().size(), 2u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid scenario"), std::string::npos);
+    EXPECT_NE(what.find("run_length"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(ScenarioRegistry, BuiltinCatalogCoversPaperAndNewKinds) {
+  const auto& reg = ScenarioRegistry::builtin();
+  EXPECT_GE(reg.all().size(), 10u);
+  for (const char* name :
+       {"fig1-cpu-exhaustion", "fig2-total-false-positives",
+        "fig3-fp-at-healthy", "table4-false-positives", "table5-latency",
+        "table6-message-load", "table7-alpha-beta", "partition-split-heal",
+        "flapping-overload", "churn-rolling-restarts"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  std::set<AnomalyKind> kinds;
+  for (const auto& s : reg.all()) {
+    EXPECT_TRUE(s.validate().empty()) << s.name;
+    kinds.insert(s.anomaly.kind);
+  }
+  // All paper kinds plus the three post-paper kinds.
+  EXPECT_GE(kinds.size(), 6u);
+  EXPECT_TRUE(kinds.contains(AnomalyKind::kPartition));
+  EXPECT_TRUE(kinds.contains(AnomalyKind::kFlapping));
+  EXPECT_TRUE(kinds.contains(AnomalyKind::kChurn));
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndInvalidEntries) {
+  ScenarioRegistry reg;
+  reg.add(tiny_valid());
+  EXPECT_THROW(reg.add(tiny_valid()), ScenarioError);
+  Scenario bad = tiny_valid();
+  bad.name = "bad";
+  bad.cluster_size = 0;
+  EXPECT_THROW(reg.add(bad), ScenarioError);
+  EXPECT_EQ(reg.all().size(), 1u);
+}
+
+TEST(ScenarioRegistry, FindAndNamesAgree) {
+  const auto& reg = ScenarioRegistry::builtin();
+  for (const auto& name : reg.names()) {
+    const Scenario* s = reg.find(name);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name, name);
+  }
+  EXPECT_EQ(reg.find("no-such-scenario"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: every cataloged scenario runs end-to-end at a tiny scale
+
+TEST(ScenarioEngine, EveryBuiltinScenarioRunsAtTinyScale) {
+  for (const Scenario& original : ScenarioRegistry::builtin().all()) {
+    Scenario s = original;
+    // Shrink to seconds of virtual time while keeping the anomaly shape.
+    s.cluster_size = std::min(s.cluster_size, 12);
+    s.anomaly.victims = std::min(s.anomaly.victims, 2);
+    s.quiesce = sec(10);
+    s.run_length = std::min(s.run_length, sec(40));
+    if (s.anomaly.kind == AnomalyKind::kPartition) {
+      s.anomaly.duration = std::min(s.anomaly.duration, sec(20));
+      s.anomaly.victims = 4;  // keep a real island out of 12
+    }
+    ASSERT_TRUE(s.validate().empty()) << s.name;
+
+    const RunResult r = run(s);
+    EXPECT_EQ(r.scenario_name, s.name);
+    EXPECT_EQ(r.cluster_size, s.cluster_size) << s.name;
+    EXPECT_EQ(r.victims.size(),
+              static_cast<std::size_t>(s.anomaly.victims))
+        << s.name;
+    EXPECT_GT(r.msgs_sent, 0) << s.name;
+    EXPECT_GT(r.bytes_sent, 0) << s.name;
+  }
+}
+
+TEST(ScenarioEngine, ReproducibleForSameSeedDistinctAcrossSeeds) {
+  Scenario s = tiny_valid();
+  const RunResult a = run(s);
+  const RunResult b = run(s);
+  EXPECT_EQ(a.victims, b.victims);
+  EXPECT_EQ(a.fp_events, b.fp_events);
+  EXPECT_EQ(a.msgs_sent, b.msgs_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  s.seed = 999;
+  const RunResult c = run(s);
+  EXPECT_NE(a.msgs_sent, c.msgs_sent);
+}
+
+TEST(ScenarioEngine, ChurnVictimsRejoinByTheEnd) {
+  Scenario s;
+  s.name = "churn-tiny";
+  s.cluster_size = 10;
+  s.quiesce = sec(10);
+  s.config = swim::Config::lifeguard();
+  s.anomaly = AnomalyPlan::churn(2, sec(15), sec(25));
+  s.run_length = sec(80);
+  s.seed = 51;
+  const RunResult r = run(s);
+  ASSERT_EQ(r.victims.size(), 2u);
+  // Node 0 is the rejoin seed and must never be churned.
+  EXPECT_FALSE(std::count(r.victims.begin(), r.victims.end(), 0));
+  // Crashes were real: survivors declared the churned members dead.
+  EXPECT_FALSE(r.first_detect.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Legacy shims: identical results to the declarative path
+
+TEST(LegacyShims, ThresholdMatchesScenarioRun) {
+  ThresholdParams p;
+  p.base.cluster_size = 32;
+  p.base.config = swim::Config::swim_baseline();
+  p.base.seed = 401;
+  p.concurrent = 3;
+  p.duration = msec(32768);
+  p.observe = sec(50);
+  const RunResult via_shim = run_threshold(p);
+  const RunResult via_scenario = run(to_scenario(p));
+  EXPECT_EQ(via_shim.victims, via_scenario.victims);
+  EXPECT_EQ(via_shim.fp_events, via_scenario.fp_events);
+  EXPECT_EQ(via_shim.first_detect, via_scenario.first_detect);
+  EXPECT_EQ(via_shim.full_dissem, via_scenario.full_dissem);
+  EXPECT_EQ(via_shim.msgs_sent, via_scenario.msgs_sent);
+  EXPECT_EQ(via_shim.bytes_sent, via_scenario.bytes_sent);
+}
+
+TEST(LegacyShims, IntervalMatchesScenarioRun) {
+  IntervalParams p;
+  p.base.cluster_size = 32;
+  p.base.config = swim::Config::lifeguard();
+  p.base.seed = 403;
+  p.concurrent = 4;
+  p.duration = msec(8192);
+  p.interval = msec(128);
+  p.test_length = sec(40);
+  const RunResult via_shim = run_interval(p);
+  const RunResult via_scenario = run(to_scenario(p));
+  EXPECT_EQ(via_shim.victims, via_scenario.victims);
+  EXPECT_EQ(via_shim.fp_events, via_scenario.fp_events);
+  EXPECT_EQ(via_shim.msgs_sent, via_scenario.msgs_sent);
+  EXPECT_EQ(via_shim.bytes_sent, via_scenario.bytes_sent);
+}
+
+TEST(LegacyShims, StressMatchesScenarioRun) {
+  StressParams p;
+  p.base.cluster_size = 24;
+  p.base.config = swim::Config::lifeguard();
+  p.base.seed = 405;
+  p.stressed = 2;
+  p.test_length = sec(40);
+  const RunResult via_shim = run_stress(p);
+  const RunResult via_scenario = run(to_scenario(p));
+  EXPECT_EQ(via_shim.victims, via_scenario.victims);
+  EXPECT_EQ(via_shim.fp_events, via_scenario.fp_events);
+  EXPECT_EQ(via_shim.msgs_sent, via_scenario.msgs_sent);
+}
+
+TEST(LegacyShims, IntervalWithZeroVictimsIsAHealthyBaseline) {
+  IntervalParams p;
+  p.base.cluster_size = 16;
+  p.base.config = swim::Config::swim_baseline();
+  p.base.seed = 407;
+  p.concurrent = 0;
+  p.test_length = sec(30);
+  const Scenario s = to_scenario(p);
+  EXPECT_EQ(s.anomaly.kind, AnomalyKind::kNone);
+  const RunResult r = run_interval(p);
+  EXPECT_EQ(r.fp_events, 0);
+  EXPECT_TRUE(r.victims.empty());
+}
+
+}  // namespace
+}  // namespace lifeguard::harness
