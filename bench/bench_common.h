@@ -12,9 +12,10 @@ inline void print_banner(const char* what, const char* paper_ref,
                          const harness::ReproOptions& opt) {
   std::printf("== %s ==\n", what);
   std::printf("Reproduces: %s\n", paper_ref);
-  std::printf("Mode: %s grid (REPRO_FULL=%d), seed %llu%s\n\n",
+  std::printf("Mode: %s grid (REPRO_FULL=%d), seed %llu, jobs %s%s\n\n",
               opt.full ? "full paper" : "quick", opt.full ? 1 : 0,
               static_cast<unsigned long long>(opt.seed),
+              opt.jobs == 0 ? "auto" : std::to_string(opt.jobs).c_str(),
               opt.reps_override > 0 ? " (REPRO_REPS override)" : "");
 }
 

@@ -2,8 +2,17 @@
 // a subset runs a starvation workload (modelled as stochastic block/run
 // cycles, see DESIGN.md) for five minutes; we count FP and FP- for
 // unmodified SWIM and for full Lifeguard.
+//
+// Runs as one Campaign over a (stressed-count × configuration) grid: trials
+// execute in parallel (REPRO_JOBS workers) and the config axis is seed-paired
+// so SWIM and Lifeguard face the same starvation schedules.
+#include <cstdint>
+#include <map>
+#include <utility>
+
 #include "bench_common.h"
-#include "harness/scenario.h"
+#include "harness/campaign.h"
+#include "harness/report.h"
 #include "harness/table.h"
 
 using namespace lifeguard;
@@ -19,28 +28,42 @@ int main() {
                    : opt.full           ? 5
                                         : 2;
 
+  Campaign camp;
+  camp.name = "fig1-cpu-exhaustion";
+  camp.base = *ScenarioRegistry::builtin().find("fig1-cpu-exhaustion");
+  Axis stressed = Axis::custom("stressed", {});
+  for (int s : stressed_counts) {
+    stressed.points.push_back({std::to_string(s),
+                               static_cast<std::uint64_t>(s),
+                               [s](Scenario& sc) { sc.anomaly.victims = s; }});
+  }
+  camp.axes = {std::move(stressed),
+               Axis::configs({{"SWIM", swim::Config::swim_baseline()},
+                              {"Lifeguard", swim::Config::lifeguard()}})};
+  camp.repetitions = reps;
+  camp.base_seed = opt.seed;
+  camp.jobs = opt.jobs;
+
+  ProgressReporter meter("fig1");
+  const CampaignResult res = run(camp, {&meter});
+
+  // Fold trials into (stressed, config) cells. Point order is stressed-major
+  // with the config axis varying fastest (0 = SWIM, 1 = Lifeguard).
+  std::map<std::pair<int, int>, std::int64_t> fp, fpm;
+  for (const TrialResult& t : res.trials) {
+    const int si = t.point_index / 2;
+    const int cfg_idx = t.point_index % 2;
+    fp[{si, cfg_idx}] += t.result.fp_events;
+    fpm[{si, cfg_idx}] += t.result.fp_healthy_events;
+  }
+
   Table table({"Stressed machines", "SWIM FP", "SWIM FP-", "Lifeguard FP",
                "Lifeguard FP-"});
-  for (int s : stressed_counts) {
-    std::int64_t fp[2] = {0, 0}, fpm[2] = {0, 0};
-    for (int rep = 0; rep < reps; ++rep) {
-      for (int cfg_idx = 0; cfg_idx < 2; ++cfg_idx) {
-        // The cataloged Fig. 1 scenario, varied over stress level, config
-        // and paired seeds.
-        Scenario sc = *ScenarioRegistry::builtin().find("fig1-cpu-exhaustion");
-        sc.config = cfg_idx == 0 ? swim::Config::swim_baseline()
-                                 : swim::Config::lifeguard();
-        sc.seed = run_seed(opt.seed, s, 0, 0, rep);
-        sc.anomaly.victims = s;
-        const RunResult r = run(sc);
-        fp[cfg_idx] += r.fp_events;
-        fpm[cfg_idx] += r.fp_healthy_events;
-      }
-      std::fprintf(stderr, "\rstressed=%d: %d/%d reps", s, rep + 1, reps);
-    }
-    std::fprintf(stderr, "\n");
-    table.add_row({std::to_string(s), fmt_int(fp[0]), fmt_int(fpm[0]),
-                   fmt_int(fp[1]), fmt_int(fpm[1])});
+  for (std::size_t si = 0; si < stressed_counts.size(); ++si) {
+    const int i = static_cast<int>(si);
+    table.add_row({std::to_string(stressed_counts[si]), fmt_int(fp[{i, 0}]),
+                   fmt_int(fpm[{i, 0}]), fmt_int(fp[{i, 1}]),
+                   fmt_int(fpm[{i, 1}])});
   }
   table.print();
   std::printf(

@@ -23,6 +23,15 @@
 //     --alpha A --beta B suspicion tuning            (default 5 / 6)
 //     --seed S           RNG seed                    (default 1)
 //
+//   ./examples/scenario_runner --campaign [--reps N] [--jobs N]
+//                              [--json FILE] [--csv FILE] [flags]
+//       Run the composed scenario as a Campaign: N repetitions with
+//       independently derived seeds, executed on a worker pool (--jobs 0 =
+//       one worker per hardware thread), aggregated with Student-t 95%
+//       confidence intervals. --json / --csv stream per-trial and aggregate
+//       artifacts (JSON-Lines / CSV) that are byte-identical at every --jobs
+//       level.
+//
 // Prints the paper's metrics for the single run: FP, FP-, detection and
 // dissemination latencies, message load. Malformed or out-of-range flag
 // values are rejected with a message naming the flag and the accepted range.
@@ -30,11 +39,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <optional>
 #include <string>
 
+#include "harness/campaign.h"
+#include "harness/report.h"
 #include "harness/scenario.h"
+#include "harness/stats.h"
 #include "harness/table.h"
 
 using namespace lifeguard;
@@ -121,6 +134,37 @@ void list_catalog() {
               "(flags override fields; e.g. --nodes 32 --length 60)\n");
 }
 
+std::string mean_ci(const Summary& s) {
+  const ConfInterval ci = t_interval(s);
+  return fmt_double(s.mean, 2) + " ± " + fmt_double(ci.half_width, 2);
+}
+
+void report_campaign(const CampaignResult& r) {
+  const PointStats& ps = r.points.front();
+  Table t({"Metric", "Mean ± 95% CI", "Min", "Max", "N"});
+  auto row = [&t](const char* name, const Summary& s) {
+    t.add_row({name, mean_ci(s), fmt_double(s.min, 2), fmt_double(s.max, 2),
+               fmt_int(static_cast<std::int64_t>(s.count))});
+  };
+  row("FP events (healthy subjects)", ps.fp);
+  row("FP- events (healthy reporters)", ps.fp_healthy);
+  row("compound messages sent", ps.msgs);
+  row("bytes sent", ps.bytes);
+  if (ps.first_detect.count() > 0) {
+    const Summary fd = ps.first_detect.summary();
+    t.add_row({"1st detect p50 / p99 (s)",
+               fmt_double(fd.p50, 2) + " / " + fmt_double(fd.p99, 2), "", "",
+               fmt_int(static_cast<std::int64_t>(fd.count))});
+  }
+  if (ps.full_dissem.count() > 0) {
+    const Summary dd = ps.full_dissem.summary();
+    t.add_row({"full dissem p50 / p99 (s)",
+               fmt_double(dd.p50, 2) + " / " + fmt_double(dd.p99, 2), "", "",
+               fmt_int(static_cast<std::int64_t>(dd.count))});
+  }
+  t.print();
+}
+
 void report(const RunResult& r) {
   Table t({"Metric", "Value"});
   t.add_row({"FP events (healthy subjects)", fmt_int(r.fp_events)});
@@ -160,6 +204,10 @@ int main(int argc, char** argv) {
   std::optional<Duration> duration, interval, length, quiesce;
   std::optional<std::uint64_t> seed;
   std::optional<std::string> anomaly_name, config_name;
+  bool campaign_mode = false;
+  int reps = 5;
+  int jobs = 0;  // 0 = one worker per hardware thread
+  std::optional<std::string> json_path, csv_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -200,6 +248,16 @@ int main(int argc, char** argv) {
       beta = parse_double(arg, next(), 1.0, 1000.0);
     } else if (arg == "--seed") {
       seed = parse_u64(arg, next());
+    } else if (arg == "--campaign") {
+      campaign_mode = true;
+    } else if (arg == "--reps") {
+      reps = static_cast<int>(parse_int(arg, next(), 1, 100000));
+    } else if (arg == "--jobs") {
+      jobs = static_cast<int>(parse_int(arg, next(), 0, 1024));
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--csv") {
+      csv_path = next();
     } else {
       usage_error("unknown option " + arg);
     }
@@ -237,7 +295,43 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.seed));
 
   try {
-    report(run(s));
+    if (campaign_mode) {
+      Campaign camp;
+      camp.name = s.name;
+      camp.base = s;
+      camp.repetitions = reps;
+      camp.jobs = jobs;
+      camp.base_seed = s.seed;
+
+      std::vector<Reporter*> reporters;
+      ProgressReporter meter(s.name);
+      reporters.push_back(&meter);
+      std::ofstream json_out, csv_out;
+      std::optional<JsonlReporter> jsonl;
+      std::optional<CsvReporter> csv;
+      if (json_path) {
+        json_out.open(*json_path);
+        if (!json_out) usage_error("cannot open --json file " + *json_path);
+        reporters.push_back(&jsonl.emplace(json_out));
+      }
+      if (csv_path) {
+        csv_out.open(*csv_path);
+        if (!csv_out) usage_error("cannot open --csv file " + *csv_path);
+        reporters.push_back(&csv.emplace(csv_out));
+      }
+
+      std::printf("campaign: %d repetitions, jobs=%s\n\n", reps,
+                  jobs == 0 ? "auto" : std::to_string(jobs).c_str());
+      report_campaign(run(camp, reporters));
+      if (json_path) std::printf("\nJSONL artifact: %s\n", json_path->c_str());
+      if (csv_path) std::printf("CSV artifact: %s\n", csv_path->c_str());
+    } else {
+      if (json_path || csv_path) {
+        usage_error("--json/--csv require --campaign (artifacts describe "
+                    "multi-trial runs)");
+      }
+      report(run(s));
+    }
   } catch (const ScenarioError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

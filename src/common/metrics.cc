@@ -35,7 +35,35 @@ double Histogram::percentile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+double Histogram::stddev() const {
+  const std::size_t n = samples_.size();
+  if (n < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double v : samples_) {
+    const double d = v - m;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+Summary Histogram::summary() const {
+  Summary s;
+  s.count = samples_.size();
+  if (s.count == 0) return s;
+  ensure_sorted();
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = samples_.front();
+  s.max = samples_.back();
+  s.p50 = percentile(0.5);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
 void Histogram::merge(const Histogram& o) {
+  if (o.samples_.empty()) return;
+  samples_.reserve(samples_.size() + o.samples_.size());
   samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
   sorted_ = false;
 }

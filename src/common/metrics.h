@@ -24,6 +24,19 @@ class Counter {
   std::int64_t value_ = 0;
 };
 
+/// One-pass summary of a sample distribution, cheap to copy and serialize.
+/// `stddev` is the sample standard deviation (n-1 denominator); 0 when
+/// count < 2. Extracted from a Histogram without copying its samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Stores raw samples; percentile extraction sorts on demand. Suitable for
 /// experiment-scale sample counts (millions), not unbounded production use.
 class Histogram {
@@ -32,6 +45,8 @@ class Histogram {
     samples_.push_back(v);
     sorted_ = false;
   }
+  /// Pre-size the sample buffer (bulk loads, merges of known size).
+  void reserve(std::size_t n) { samples_.reserve(n); }
   std::size_t count() const { return samples_.size(); }
   double sum() const;
   double mean() const;
@@ -40,7 +55,13 @@ class Histogram {
   /// q in [0, 1]; linear interpolation between closest ranks. Returns 0 when
   /// empty.
   double percentile(double q) const;
+  /// Sample standard deviation (n-1 denominator); 0 when count < 2.
+  double stddev() const;
+  /// All summary statistics in one call — sorts once, copies nothing.
+  Summary summary() const;
   const std::vector<double>& samples() const { return samples_; }
+  /// Bulk-appends `o`'s samples (one reserve + insert); the combined buffer
+  /// re-sorts at most once, on the next percentile query.
   void merge(const Histogram& o);
   void reset() { samples_.clear(); }
 

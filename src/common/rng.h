@@ -5,6 +5,11 @@
 // runs replay bit-identically. xoshiro256** is small, fast and high quality;
 // SplitMix64 expands seeds into full state (the construction recommended by
 // the xoshiro authors).
+//
+// Thread-safety: all state lives in the Rng instance — no globals, no
+// thread_locals, no shared tables — so independently seeded generators on
+// different threads (one per campaign trial) never interact. A single
+// instance is not synchronized; don't share one across threads.
 #pragma once
 
 #include <cstdint>

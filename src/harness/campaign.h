@@ -1,0 +1,167 @@
+// Parallel campaign engine: many trials of one declarative experiment.
+//
+// A Campaign is a value, like the Scenario it wraps: a base Scenario, a list
+// of Axis sweeps (any Scenario field can be swept through an AxisPoint's
+// apply function), a repetition count, a base seed, and a `jobs` parallelism
+// level. run() expands the cartesian grid, derives one seed per trial with
+// trial_seed() (SplitMix64 over the base seed, the grid point's axis salts
+// and the repetition index — NOT over anything execution-dependent), and
+// executes trials on a fixed-size worker pool. Trials share nothing: each
+// builds its own simulated cluster, so results are bit-identical for every
+// `jobs` value and independent of scheduling order.
+//
+// Reporters (see report.h) observe the run: progress() fires in completion
+// order for live feedback; on_trial() fires strictly in trial-index order so
+// streamed JSONL/CSV artifacts are byte-identical across jobs levels.
+//
+// Aggregation folds per-trial RunResults into per-grid-point statistics:
+// Summary (count/mean/stddev/min/max/p50/p99) of the scalar metrics plus
+// merged latency histograms — Student-t confidence intervals come from
+// harness/stats.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "harness/experiment.h"
+#include "harness/scenario.h"
+
+namespace lifeguard::harness {
+
+class Reporter;  // report.h
+
+// ---------------------------------------------------------------------------
+// Axes
+
+/// One value on a sweep axis: a display label, a seed salt, and a mutation
+/// applied to the base Scenario when the grid is expanded.
+struct AxisPoint {
+  std::string label;
+  /// Folded into trial_seed(). Give points of a *workload* axis distinct
+  /// salts (different schedules per point) and points of a *configuration*
+  /// axis identical salts (paired runs: every config sees the same anomaly
+  /// schedule at the same grid point, sharpening %-of-baseline comparisons).
+  std::uint64_t seed_salt = 0;
+  std::function<void(Scenario&)> apply;
+};
+
+/// A named sweep dimension. Factories cover the common Scenario fields; use
+/// custom() to sweep anything else.
+struct Axis {
+  std::string name;
+  std::vector<AxisPoint> points;
+
+  /// anomaly.victims sweep (salt = count).
+  static Axis victims(const std::vector<int>& counts);
+  /// anomaly.duration sweep (salt = microseconds; labels in ms).
+  static Axis duration(const std::vector<Duration>& values);
+  /// anomaly.interval sweep (salt = microseconds; labels in ms).
+  static Axis interval(const std::vector<Duration>& values);
+  /// cluster_size sweep (salt = size).
+  static Axis cluster_size(const std::vector<int>& sizes);
+  /// Protocol-configuration sweep. All points share salt 0: runs are paired
+  /// across configurations by construction.
+  static Axis configs(const std::vector<NamedConfig>& cfgs);
+  static Axis custom(std::string name, std::vector<AxisPoint> points);
+};
+
+// ---------------------------------------------------------------------------
+// Campaign descriptor
+
+struct Campaign {
+  std::string name;
+  Scenario base;
+  /// Cartesian product; empty means a single grid point (the base Scenario).
+  std::vector<Axis> axes;
+  /// Trials per grid point, each with an independently derived seed.
+  int repetitions = 1;
+  std::uint64_t base_seed = 42;
+  /// Worker threads. 0 = one per hardware thread; 1 = sequential. Results
+  /// never depend on this value.
+  int jobs = 0;
+  /// Optional post-processing applied after every axis, before validation
+  /// (e.g. legacy grid semantics that couple several swept fields).
+  std::function<void(Scenario&)> finalize;
+  /// Retain each trial's full Metrics registry in the CampaignResult. Off by
+  /// default: the registry is the bulky part of a RunResult and aggregation
+  /// only needs the scalar fields. Reporters always see the full result.
+  bool keep_trial_metrics = false;
+
+  /// Empty when runnable; otherwise one actionable message per defect
+  /// (including per-grid-point Scenario validation failures).
+  std::vector<std::string> validate() const;
+};
+
+// ---------------------------------------------------------------------------
+// Grid expansion & seeds
+
+/// One cell of the expanded cartesian grid.
+struct GridPoint {
+  int index = 0;
+  /// Axis point labels, parallel to Campaign::axes.
+  std::vector<std::string> labels;
+  /// Axis point salts, parallel to Campaign::axes (trial_seed input).
+  std::vector<std::uint64_t> salts;
+  /// Base scenario with every axis point (and finalize) applied.
+  Scenario scenario;
+};
+
+/// Expand the cartesian product of `c.axes` over `c.base`. Last axis varies
+/// fastest. Does not validate — run() and Campaign::validate() do.
+std::vector<GridPoint> expand_grid(const Campaign& c);
+
+/// Per-trial seed derivation: a SplitMix64 chain over the base seed, each
+/// axis salt in axis order, and the repetition index. Depends only on the
+/// campaign descriptor — never on thread scheduling — so every trial replays
+/// bit-identically at any `jobs` level. sweep.h's legacy run_seed() is this
+/// chain with salts {c, d_us, i_us}.
+std::uint64_t trial_seed(std::uint64_t base,
+                         const std::vector<std::uint64_t>& salts, int rep);
+
+// ---------------------------------------------------------------------------
+// Results
+
+/// One executed trial: grid coordinates plus the engine's RunResult.
+struct TrialResult {
+  int trial_index = 0;  ///< dense [0, total); point_index * reps + rep
+  int point_index = 0;
+  int rep = 0;
+  std::uint64_t seed = 0;
+  RunResult result;
+};
+
+/// Folded statistics for one grid point across its repetitions.
+struct PointStats {
+  int point_index = 0;
+  std::vector<std::string> labels;  ///< parallel to axis_names
+  int trials = 0;
+  Summary fp;          ///< FP events per trial
+  Summary fp_healthy;  ///< FP⁻ events per trial
+  Summary msgs;        ///< messages sent per trial
+  Summary bytes;       ///< bytes sent per trial
+  Histogram first_detect;  ///< merged latency samples, seconds
+  Histogram full_dissem;   ///< merged latency samples, seconds
+};
+
+struct CampaignResult {
+  std::string campaign_name;
+  std::vector<std::string> axis_names;
+  /// Trial-index order (grid order × repetitions) — identical for every
+  /// `jobs` level.
+  std::vector<TrialResult> trials;
+  /// Grid order, parallel to expand_grid().
+  std::vector<PointStats> points;
+};
+
+/// Execute the campaign. Throws ScenarioError when validate() is non-empty;
+/// a trial that throws aborts the campaign and rethrows on the caller
+/// thread. Reporters may be empty; they are invoked under an internal lock
+/// (begin / progress / on_trial / end) and need no synchronization of their
+/// own.
+CampaignResult run(const Campaign& c,
+                   const std::vector<Reporter*>& reporters = {});
+
+}  // namespace lifeguard::harness

@@ -1,0 +1,215 @@
+#include "harness/report.h"
+
+#include <charconv>
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+
+#include "harness/stats.h"
+
+namespace lifeguard::harness {
+
+void Reporter::begin(const Campaign&, const std::vector<GridPoint>&, int) {}
+void Reporter::progress(int, int) {}
+void Reporter::on_trial(const TrialResult&) {}
+void Reporter::end(const CampaignResult&) {}
+
+// ---------------------------------------------------------------------------
+// Encoding helpers
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec == std::errc{}) return std::string(buf, res.ptr);
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string coords_json(const std::vector<std::string>& axis_names,
+                        const std::vector<std::string>& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(axis_names[i]) + "\":\"" +
+           json_escape(labels[i]) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string samples_json(const std::vector<double>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += json_double(v[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string summary_json(const Summary& s) {
+  const ConfInterval ci = t_interval(s);
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(s.count);
+  out += ",\"mean\":" + json_double(s.mean);
+  out += ",\"stddev\":" + json_double(s.stddev);
+  out += ",\"min\":" + json_double(s.min);
+  out += ",\"max\":" + json_double(s.max);
+  out += ",\"p50\":" + json_double(s.p50);
+  out += ",\"p99\":" + json_double(s.p99);
+  out += ",\"ci95\":" + json_double(ci.half_width);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JsonlReporter
+
+void JsonlReporter::begin(const Campaign& c, const std::vector<GridPoint>& grid,
+                          int total_trials) {
+  axis_names_.clear();
+  for (const Axis& a : c.axes) axis_names_.push_back(a.name);
+  labels_.clear();
+  labels_.reserve(grid.size());
+  for (const GridPoint& p : grid) labels_.push_back(p.labels);
+  out_ << "{\"type\":\"campaign\",\"name\":\"" << json_escape(c.name)
+       << "\",\"axes\":[";
+  for (std::size_t i = 0; i < axis_names_.size(); ++i) {
+    if (i > 0) out_ << ",";
+    out_ << "\"" << json_escape(axis_names_[i]) << "\"";
+  }
+  // base_seed as a string: 64-bit values overflow the doubles most JSON
+  // consumers parse numbers into.
+  out_ << "],\"points\":" << grid.size() << ",\"repetitions\":" << c.repetitions
+       << ",\"trials\":" << total_trials << ",\"base_seed\":\"" << c.base_seed
+       << "\"}\n";
+}
+
+void JsonlReporter::on_trial(const TrialResult& t) {
+  const auto& labels = labels_[static_cast<std::size_t>(t.point_index)];
+  out_ << "{\"type\":\"trial\",\"trial\":" << t.trial_index
+       << ",\"point\":" << t.point_index << ",\"rep\":" << t.rep
+       << ",\"seed\":\"" << t.seed << "\",\"coords\":"
+       << coords_json(axis_names_, labels) << ",\"scenario\":\""
+       << json_escape(t.result.scenario_name)
+       << "\",\"cluster_size\":" << t.result.cluster_size
+       << ",\"fp\":" << t.result.fp_events
+       << ",\"fp_healthy\":" << t.result.fp_healthy_events
+       << ",\"msgs\":" << t.result.msgs_sent
+       << ",\"bytes\":" << t.result.bytes_sent << ",\"first_detect\":"
+       << samples_json(t.result.first_detect) << ",\"full_dissem\":"
+       << samples_json(t.result.full_dissem) << "}\n";
+}
+
+void JsonlReporter::end(const CampaignResult& r) {
+  for (const PointStats& ps : r.points) {
+    out_ << "{\"type\":\"aggregate\",\"point\":" << ps.point_index
+         << ",\"coords\":" << coords_json(r.axis_names, ps.labels)
+         << ",\"trials\":" << ps.trials << ",\"fp\":" << summary_json(ps.fp)
+         << ",\"fp_healthy\":" << summary_json(ps.fp_healthy)
+         << ",\"msgs\":" << summary_json(ps.msgs)
+         << ",\"bytes\":" << summary_json(ps.bytes) << ",\"first_detect\":"
+         << summary_json(ps.first_detect.summary()) << ",\"full_dissem\":"
+         << summary_json(ps.full_dissem.summary()) << "}\n";
+  }
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// CsvReporter
+
+void CsvReporter::begin(const Campaign& c, const std::vector<GridPoint>& grid,
+                        int) {
+  labels_.clear();
+  labels_.reserve(grid.size());
+  for (const GridPoint& p : grid) labels_.push_back(p.labels);
+  out_ << "trial,point,rep,seed";
+  for (const Axis& a : c.axes) out_ << "," << csv_field(a.name);
+  out_ << ",scenario,cluster_size,fp,fp_healthy,msgs,bytes,detections,"
+          "first_detect_p50,first_detect_p99,full_dissem_p50\n";
+}
+
+void CsvReporter::on_trial(const TrialResult& t) {
+  const auto& labels = labels_[static_cast<std::size_t>(t.point_index)];
+  Histogram fd, dd;
+  fd.reserve(t.result.first_detect.size());
+  for (double s : t.result.first_detect) fd.record(s);
+  dd.reserve(t.result.full_dissem.size());
+  for (double s : t.result.full_dissem) dd.record(s);
+  out_ << t.trial_index << "," << t.point_index << "," << t.rep << ","
+       << t.seed;
+  for (const std::string& label : labels) out_ << "," << csv_field(label);
+  out_ << "," << csv_field(t.result.scenario_name) << ","
+       << t.result.cluster_size << "," << t.result.fp_events << ","
+       << t.result.fp_healthy_events << "," << t.result.msgs_sent << ","
+       << t.result.bytes_sent << "," << fd.count() << ","
+       << json_double(fd.percentile(0.5)) << ","
+       << json_double(fd.percentile(0.99)) << ","
+       << json_double(dd.percentile(0.5)) << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// ProgressReporter
+
+ProgressReporter::ProgressReporter(std::string label, std::ostream& out)
+    : label_(std::move(label)), out_(out) {}
+
+ProgressReporter::ProgressReporter(std::string label)
+    : ProgressReporter(std::move(label), std::cerr) {}
+
+void ProgressReporter::progress(int done, int total) {
+  out_ << "\r" << label_ << ": " << done << "/" << total << " trials";
+  if (done == total) out_ << "\n";
+  out_.flush();
+}
+
+}  // namespace lifeguard::harness

@@ -604,6 +604,9 @@ ScenarioRegistry make_builtin() {
 }  // namespace
 
 const ScenarioRegistry& ScenarioRegistry::builtin() {
+  // Meyers singleton: C++11 guarantees race-free one-time initialization,
+  // and the registry is immutable afterwards — safe to call from concurrent
+  // campaign workers.
   static const ScenarioRegistry reg = make_builtin();
   return reg;
 }

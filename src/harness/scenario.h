@@ -97,6 +97,16 @@ struct Scenario {
   Duration msg_proc_cost = usec(5);
   /// Simulated kernel receive-buffer bound per node.
   std::size_t recv_buffer_bytes = 256 * 1024;
+  /// Root of every random decision in the run: the cluster's Rng forks from
+  /// it, so (scenario, seed) replays bit-identically.
+  ///
+  /// Seed-derivation contract (campaign.h): multi-trial engines derive each
+  /// trial's seed as trial_seed(base_seed, axis_salts, rep) — a SplitMix64
+  /// chain over descriptor coordinates only, never over execution state
+  /// (thread ids, completion order, wall time). Trials share no mutable
+  /// state (each run() builds its own cluster; Rng, Metrics and Config are
+  /// instance-owned; ScenarioRegistry::builtin() is an immutable magic
+  /// static), so concurrent trials are bit-identical to sequential ones.
   std::uint64_t seed = 1;
 
   AnomalyPlan anomaly;

@@ -1,0 +1,145 @@
+#include "harness/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lifeguard::harness {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& o) {
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(o.count_);
+  const double delta = o.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += o.m2_ + delta * delta * (na * nb / n);
+  count_ += o.count_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Summary OnlineStats::summary() const {
+  Summary s;
+  s.count = count_;
+  s.mean = mean();
+  s.stddev = stddev();
+  s.min = min();
+  s.max = max();
+  s.p50 = mean();
+  s.p99 = mean();
+  return s;
+}
+
+namespace {
+
+/// Acklam's rational approximation to the inverse standard normal CDF
+/// (absolute error < 1.2e-9 over (0, 1)).
+double inverse_normal(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+double t_critical(std::int64_t dof, double confidence) {
+  confidence = std::clamp(confidence, 0.0, 1.0 - 1e-12);
+  const double p = 1.0 - (1.0 - confidence) / 2.0;  // two-sided -> upper tail
+  if (dof == 1) {
+    // Cauchy quantile.
+    return std::tan(3.14159265358979323846 * (p - 0.5));
+  }
+  if (dof == 2) {
+    const double a = 2.0 * p - 1.0;
+    return a * std::sqrt(2.0 / (1.0 - a * a));
+  }
+  const double z = inverse_normal(p);
+  if (dof <= 0) return z;  // infinite-dof limit
+  const double v = static_cast<double>(dof);
+  const double z2 = z * z;
+  const double z3 = z2 * z;
+  const double z5 = z3 * z2;
+  const double z7 = z5 * z2;
+  const double z9 = z7 * z2;
+  // Abramowitz & Stegun 26.7.5: t as an asymptotic series in 1/dof.
+  double t = z;
+  t += (z3 + z) / (4.0 * v);
+  t += (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v);
+  t += (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * v * v * v);
+  t += (79.0 * z9 + 776.0 * z7 + 1482.0 * z5 - 1920.0 * z3 - 945.0 * z) /
+       (92160.0 * v * v * v * v);
+  return t;
+}
+
+ConfInterval t_interval(std::size_t count, double mean, double stddev,
+                        double confidence) {
+  ConfInterval ci;
+  ci.lo = ci.hi = mean;
+  if (count < 2) return ci;
+  const double t = t_critical(static_cast<std::int64_t>(count) - 1, confidence);
+  ci.half_width = t * stddev / std::sqrt(static_cast<double>(count));
+  ci.lo = mean - ci.half_width;
+  ci.hi = mean + ci.half_width;
+  return ci;
+}
+
+ConfInterval t_interval(const OnlineStats& s, double confidence) {
+  return t_interval(s.count(), s.mean(), s.stddev(), confidence);
+}
+
+ConfInterval t_interval(const Summary& s, double confidence) {
+  return t_interval(s.count, s.mean, s.stddev, confidence);
+}
+
+}  // namespace lifeguard::harness

@@ -1,0 +1,73 @@
+// Statistics utilities for campaign results.
+//
+// t_interval() turns (count, mean, stddev) into a Student-t confidence
+// interval — the honest error bar for the small repetition counts the quick
+// grids use (n = 1..10), where a normal interval would be far too tight.
+// The reporters and scenario_runner derive their "± 95% CI" columns from it.
+//
+// OnlineStats is a Welford accumulator with the parallel combine of Chan,
+// Golub & LeVeque, for callers that fold results beyond what the engine
+// retains — across grid points, campaigns, or streams too large to keep
+// samples for. (The engine's own per-point aggregation keeps raw samples in
+// Histograms because its artifacts need p50/p99.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/metrics.h"
+
+namespace lifeguard::harness {
+
+/// Streaming mean/variance/extrema accumulator. No samples are retained, so
+/// it is O(1) memory per aggregated series; percentiles need a Histogram.
+class OnlineStats {
+ public:
+  void add(double x);
+  /// Parallel combine: after a.merge(b), `a` equals the accumulator that saw
+  /// both input streams (any interleaving — the result is order-free up to
+  /// floating-point rounding).
+  void merge(const OnlineStats& o);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Summary view (p50/p99 unavailable without samples — left at mean).
+  Summary summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval around a mean.
+struct ConfInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width = 0.0;
+};
+
+/// Two-sided Student-t critical value for `dof` degrees of freedom at the
+/// given confidence level (e.g. 0.95 -> t such that P(|T| <= t) = 0.95).
+/// Exact for dof 1 and 2; Abramowitz & Stegun 26.7.5 expansion (via the
+/// inverse normal) otherwise — within ~0.005 of tables for dof >= 3.
+/// dof <= 0 returns the normal critical value (infinite-dof limit).
+double t_critical(std::int64_t dof, double confidence = 0.95);
+
+/// Student-t confidence interval for the mean of `count` samples with the
+/// given sample standard deviation. count < 2 yields a degenerate interval
+/// [mean, mean] with half_width 0 (one sample carries no spread information).
+ConfInterval t_interval(std::size_t count, double mean, double stddev,
+                        double confidence = 0.95);
+ConfInterval t_interval(const OnlineStats& s, double confidence = 0.95);
+ConfInterval t_interval(const Summary& s, double confidence = 0.95);
+
+}  // namespace lifeguard::harness

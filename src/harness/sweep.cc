@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/rng.h"
+#include "harness/campaign.h"
+#include "harness/report.h"
 
 namespace lifeguard::harness {
 
@@ -17,6 +18,10 @@ ReproOptions ReproOptions::from_env() {
   }
   if (const char* s = std::getenv("REPRO_SEED")) {
     opt.seed = static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  if (const char* j = std::getenv("REPRO_JOBS")) {
+    opt.jobs = std::atoi(j);
+    if (opt.jobs < 0) opt.jobs = 0;
   }
   return opt;
 }
@@ -71,86 +76,121 @@ Grid threshold_grid(const ReproOptions& opt) {
 
 std::uint64_t run_seed(std::uint64_t base, int c, std::int64_t d_us,
                        std::int64_t i_us, int rep) {
-  std::uint64_t s = base;
-  // Mix each coordinate through SplitMix64 — cheap, well distributed, and
-  // identical for every configuration at the same grid point (paired runs).
-  s ^= splitmix64(s) + static_cast<std::uint64_t>(c);
-  s ^= splitmix64(s) + static_cast<std::uint64_t>(d_us);
-  s ^= splitmix64(s) + static_cast<std::uint64_t>(i_us);
-  s ^= splitmix64(s) + static_cast<std::uint64_t>(rep);
-  return splitmix64(s);
+  return trial_seed(base,
+                    {static_cast<std::uint64_t>(c),
+                     static_cast<std::uint64_t>(d_us),
+                     static_cast<std::uint64_t>(i_us)},
+                    rep);
 }
+
+namespace {
+
+/// Adapts the legacy ProgressFn callback onto the Reporter interface.
+class FnProgress : public Reporter {
+ public:
+  explicit FnProgress(const ProgressFn& fn) : fn_(fn) {}
+  void progress(int done, int total) override {
+    if (fn_) fn_(done, total);
+  }
+
+ private:
+  const ProgressFn& fn_;
+};
+
+int resolve_jobs(int jobs) {
+  return jobs < 0 ? ReproOptions::from_env().jobs : jobs;
+}
+
+}  // namespace
 
 IntervalSweepResult sweep_interval(const swim::Config& cfg, const Grid& grid,
                                    std::uint64_t seed_base,
-                                   const ProgressFn& progress) {
-  IntervalSweepResult agg;
-  const int total = static_cast<int>(grid.concurrency.size() *
-                                     grid.durations.size() *
-                                     grid.intervals.size()) *
-                    grid.repetitions;
-  int done = 0;
-  for (int c : grid.concurrency) {
-    for (Duration d : grid.durations) {
-      for (Duration i : grid.intervals) {
-        for (int rep = 0; rep < grid.repetitions; ++rep) {
-          // Build through the shim mapping so c == 0 (healthy baseline)
-          // keeps its legacy meaning.
-          IntervalParams p;
-          p.base.cluster_size = grid.cluster_size;
-          p.base.quiesce = grid.quiesce;
-          p.base.config = cfg;
-          p.base.seed = run_seed(seed_base, c, d.us, i.us, rep);
-          p.concurrent = c;
-          p.duration = d;
-          p.interval = i;
-          p.test_length = grid.test_length;
-          Scenario sc = to_scenario(p);
-          sc.name = "sweep-interval";
-          const RunResult r = run(sc);
-          agg.fp += r.fp_events;
-          agg.fpm += r.fp_healthy_events;
-          agg.msgs += r.msgs_sent;
-          agg.bytes += r.bytes_sent;
-          agg.fp_by_c[c] += r.fp_events;
-          agg.fpm_by_c[c] += r.fp_healthy_events;
-          ++agg.runs;
-          if (progress) progress(++done, total);
-        }
-      }
+                                   const ProgressFn& progress, int jobs) {
+  // The grid as a campaign: victims/duration/interval axes whose salts are
+  // exactly the legacy run_seed() coordinates, so per-trial seeds (and thus
+  // results) are bit-identical to the old sequential loop.
+  Campaign camp;
+  camp.name = "sweep-interval";
+  IntervalParams base;
+  base.base.cluster_size = grid.cluster_size;
+  base.base.quiesce = grid.quiesce;
+  base.base.config = cfg;
+  base.concurrent = 1;  // placeholder; the victims axis overwrites it
+  base.test_length = grid.test_length;
+  camp.base = to_scenario(base);
+  camp.base.name = "sweep-interval";
+  camp.axes = {Axis::victims(grid.concurrency), Axis::duration(grid.durations),
+               Axis::interval(grid.intervals)};
+  // Legacy semantics for c == 0: a healthy baseline whose end time still
+  // follows the cycle-aligned clock of its grid point (see to_scenario).
+  camp.finalize = [test_length = grid.test_length](Scenario& s) {
+    if (s.anomaly.kind == AnomalyKind::kInterval && s.anomaly.victims == 0) {
+      const Duration d = s.anomaly.duration;
+      const Duration i = s.anomaly.interval;
+      s.anomaly = AnomalyPlan::none();
+      s.run_length = cycle_aligned_length(test_length, d, i) + sec(1);
     }
+  };
+  camp.repetitions = grid.repetitions;
+  camp.base_seed = seed_base;
+  camp.jobs = resolve_jobs(jobs);
+
+  FnProgress meter(progress);
+  const CampaignResult res = run(camp, {&meter});
+
+  IntervalSweepResult agg;
+  const std::size_t points_per_c =
+      grid.durations.size() * grid.intervals.size();
+  for (const TrialResult& t : res.trials) {
+    const int c =
+        grid.concurrency[static_cast<std::size_t>(t.point_index) /
+                         points_per_c];
+    agg.fp += t.result.fp_events;
+    agg.fpm += t.result.fp_healthy_events;
+    agg.msgs += t.result.msgs_sent;
+    agg.bytes += t.result.bytes_sent;
+    agg.fp_by_c[c] += t.result.fp_events;
+    agg.fpm_by_c[c] += t.result.fp_healthy_events;
+    ++agg.runs;
   }
   return agg;
 }
 
 ThresholdSweepResult sweep_threshold(const swim::Config& cfg, const Grid& grid,
                                      std::uint64_t seed_base,
-                                     const ProgressFn& progress) {
+                                     const ProgressFn& progress, int jobs) {
+  Campaign camp;
+  camp.name = "sweep-threshold";
+  ThresholdParams base;
+  base.base.cluster_size = grid.cluster_size;
+  base.base.quiesce = grid.quiesce;
+  base.base.config = cfg;
+  base.concurrent = 1;  // placeholder; the victims axis overwrites it
+  base.observe = grid.observe;
+  camp.base = to_scenario(base);
+  camp.base.name = "sweep-threshold";
+  // The trailing single-point axis contributes nothing to the scenario but
+  // keeps the salt chain {c, d_us, 0} — the exact legacy
+  // run_seed(base, c, d_us, 0, rep) coordinates, so threshold trials stay
+  // bit-identical to the pre-campaign sequential loop.
+  camp.axes = {Axis::victims(grid.concurrency), Axis::duration(grid.durations),
+               Axis::custom("interval", {{"0ms", 0, {}}})};
+  camp.repetitions = grid.repetitions;
+  camp.base_seed = seed_base;
+  camp.jobs = resolve_jobs(jobs);
+
+  FnProgress meter(progress);
+  const CampaignResult res = run(camp, {&meter});
+
   ThresholdSweepResult agg;
-  const int total =
-      static_cast<int>(grid.concurrency.size() * grid.durations.size()) *
-      grid.repetitions;
-  int done = 0;
-  for (int c : grid.concurrency) {
-    for (Duration d : grid.durations) {
-      for (int rep = 0; rep < grid.repetitions; ++rep) {
-        ThresholdParams p;
-        p.base.cluster_size = grid.cluster_size;
-        p.base.quiesce = grid.quiesce;
-        p.base.config = cfg;
-        p.base.seed = run_seed(seed_base, c, d.us, 0, rep);
-        p.concurrent = c;
-        p.duration = d;
-        p.observe = grid.observe;
-        Scenario sc = to_scenario(p);
-        sc.name = "sweep-threshold";
-        const RunResult r = run(sc);
-        for (double s : r.first_detect) agg.first_detect.record(s);
-        for (double s : r.full_dissem) agg.full_dissem.record(s);
-        ++agg.runs;
-        if (progress) progress(++done, total);
-      }
-    }
+  agg.runs = static_cast<int>(res.trials.size());
+  for (const TrialResult& t : res.trials) {
+    agg.first_detect.reserve(agg.first_detect.count() +
+                             t.result.first_detect.size());
+    for (double s : t.result.first_detect) agg.first_detect.record(s);
+    agg.full_dissem.reserve(agg.full_dissem.count() +
+                            t.result.full_dissem.size());
+    for (double s : t.result.full_dissem) agg.full_dissem.record(s);
   }
   return agg;
 }

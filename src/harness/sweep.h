@@ -1,11 +1,18 @@
 // Parameter sweeps over the experiment grids (paper Tables II & III) and
 // their aggregation into the evaluation's tables and figures.
 //
+// Both sweeps are thin shims over the parallel Campaign engine (see
+// campaign.h): the grid becomes campaign axes, repetitions become trials,
+// and trials execute on a worker pool. Results are bit-identical at every
+// parallelism level.
+//
 // Scope control (environment):
 //   REPRO_FULL=1   use the paper's full grid (Tables II/III, 10 repetitions,
-//                  120 s interval runs) — hours of compute.
+//                  120 s interval runs) — hours of compute on one core.
 //   REPRO_REPS=n   override repetitions.
 //   REPRO_SEED=n   base seed (default 42).
+//   REPRO_JOBS=n   worker threads (default 0 = one per hardware thread;
+//                  1 = sequential).
 // The default ("quick") grids subsample each dimension so every bench binary
 // finishes in tens of seconds while preserving the paper's qualitative
 // shape. Run seeds are paired across configurations: the same grid point and
@@ -28,7 +35,10 @@ struct ReproOptions {
   bool full = false;
   int reps_override = 0;  ///< 0 = grid default
   std::uint64_t seed = 42;
-  /// Read REPRO_FULL / REPRO_REPS / REPRO_SEED from the environment.
+  /// Campaign worker threads: 0 = one per hardware thread, 1 = sequential.
+  int jobs = 0;
+  /// Read REPRO_FULL / REPRO_REPS / REPRO_SEED / REPRO_JOBS from the
+  /// environment.
   static ReproOptions from_env();
 };
 
@@ -68,18 +78,24 @@ struct ThresholdSweepResult {
 
 using ProgressFn = std::function<void(int done, int total)>;
 
+/// Runs the grid on the Campaign worker pool. `jobs` < 0 reads REPRO_JOBS
+/// (then 0 = one worker per hardware thread, 1 = sequential). `progress`
+/// fires in completion order.
 IntervalSweepResult sweep_interval(const swim::Config& cfg, const Grid& grid,
                                    std::uint64_t seed_base,
-                                   const ProgressFn& progress = {});
+                                   const ProgressFn& progress = {},
+                                   int jobs = -1);
 
 ThresholdSweepResult sweep_threshold(const swim::Config& cfg, const Grid& grid,
                                      std::uint64_t seed_base,
-                                     const ProgressFn& progress = {});
+                                     const ProgressFn& progress = {},
+                                     int jobs = -1);
 
 /// Stderr progress meter ("label: 12/36 runs") for bench binaries.
 ProgressFn stderr_progress(std::string label);
 
 /// Per-run seed derivation, stable across configurations (paired runs).
+/// Equals campaign trial_seed(base, {c, d_us, i_us}, rep).
 std::uint64_t run_seed(std::uint64_t base, int c, std::int64_t d_us,
                        std::int64_t i_us, int rep);
 

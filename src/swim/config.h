@@ -4,6 +4,10 @@
 // (BaseProbeInterval = 1 s, BaseProbeTimeout = 500 ms, §IV-A) and memberlist's
 // LAN profile for the rest. The three Lifeguard components can be toggled
 // independently to reproduce every row of the paper's Table I.
+//
+// Config is a plain value and the preset factories below are pure (they
+// build fresh instances, touching no shared state), so concurrent campaign
+// trials can construct and copy configurations freely.
 #pragma once
 
 #include <string>

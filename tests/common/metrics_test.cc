@@ -66,6 +66,48 @@ TEST(Histogram, Merge) {
   EXPECT_DOUBLE_EQ(a.max(), 5.0);
 }
 
+TEST(Histogram, MergeEmptyIsNoop) {
+  Histogram a, empty;
+  a.record(2);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.max(), 2.0);
+}
+
+TEST(Histogram, ReservePreallocates) {
+  Histogram h;
+  h.reserve(1000);
+  EXPECT_GE(h.samples().capacity(), 1000u);
+  EXPECT_EQ(h.count(), 0u);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, SummaryMatchesIndividualStats) {
+  Histogram h;
+  for (int i = 100; i >= 1; --i) h.record(i);
+  const Summary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  // Sample stddev of 1..100: sqrt(n(n+1)/12).
+  EXPECT_NEAR(s.stddev, 29.0115, 1e-3);
+  EXPECT_NEAR(s.stddev, h.stddev(), 1e-12);
+}
+
+TEST(Histogram, SummaryOfEmptyIsZero) {
+  const Summary s = Histogram{}.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
 TEST(Metrics, CounterLookupAndMerge) {
   Metrics m1, m2;
   m1.counter("x").add(5);

@@ -1,0 +1,94 @@
+#include "harness/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lifeguard::harness {
+namespace {
+
+TEST(OnlineStats, EmptyIsSafe) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  OnlineStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.variance(), 2.5, 1e-12);  // sample variance of 1..5
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, ParallelMergeEqualsSequential) {
+  // The combine contract: any split of a stream across accumulators must
+  // merge to the result of one accumulator that saw everything.
+  OnlineStats all, a, b, empty;
+  for (int i = 1; i <= 10; ++i) {
+    const double v = i * 1.5 - 4.0;
+    all.add(v);
+    (i <= 3 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+
+  // Merging an empty accumulator in either direction is the identity.
+  OnlineStats c = a;
+  c.merge(empty);
+  EXPECT_EQ(c.count(), a.count());
+  EXPECT_NEAR(c.mean(), a.mean(), 1e-12);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), a.count());
+  EXPECT_NEAR(empty.variance(), a.variance(), 1e-12);
+}
+
+TEST(TCritical, MatchesTables) {
+  // Two-sided 95% critical values from standard t tables.
+  EXPECT_NEAR(t_critical(1, 0.95), 12.706, 0.01);
+  EXPECT_NEAR(t_critical(2, 0.95), 4.303, 0.005);
+  EXPECT_NEAR(t_critical(3, 0.95), 3.182, 0.01);
+  EXPECT_NEAR(t_critical(5, 0.95), 2.571, 0.01);
+  EXPECT_NEAR(t_critical(10, 0.95), 2.228, 0.01);
+  EXPECT_NEAR(t_critical(30, 0.95), 2.042, 0.01);
+  // Infinite-dof limit is the normal critical value.
+  EXPECT_NEAR(t_critical(0, 0.95), 1.960, 0.001);
+  EXPECT_NEAR(t_critical(1000000, 0.95), 1.960, 0.001);
+  // Other confidence levels.
+  EXPECT_NEAR(t_critical(10, 0.99), 3.169, 0.02);
+  EXPECT_NEAR(t_critical(10, 0.90), 1.812, 0.01);
+}
+
+TEST(TInterval, WidthAndDegenerateCases) {
+  // n = 4, sd = 2: half width = t(3, .95) * 2 / sqrt(4) = 3.182.
+  const ConfInterval ci = t_interval(4, 10.0, 2.0);
+  EXPECT_NEAR(ci.half_width, 3.182, 0.02);
+  EXPECT_NEAR(ci.lo, 10.0 - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.hi, 10.0 + ci.half_width, 1e-12);
+
+  // Fewer than two samples carries no spread information.
+  const ConfInterval one = t_interval(1, 7.0, 0.0);
+  EXPECT_DOUBLE_EQ(one.lo, 7.0);
+  EXPECT_DOUBLE_EQ(one.hi, 7.0);
+  EXPECT_DOUBLE_EQ(one.half_width, 0.0);
+
+  // From an OnlineStats accumulator.
+  OnlineStats s;
+  for (double v : {9.0, 10.0, 11.0}) s.add(v);
+  const ConfInterval c2 = t_interval(s);
+  EXPECT_NEAR(c2.half_width, t_critical(2, 0.95) * 1.0 / std::sqrt(3.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace lifeguard::harness
