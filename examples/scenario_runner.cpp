@@ -1,9 +1,11 @@
 // Run any scenario from the built-in catalog, or compose one from flags,
 // without writing code.
 //
-//   ./examples/scenario_runner --list
-//       Enumerate the registered scenarios (paper figures/tables + the new
-//       partition / flapping / churn kinds).
+//   ./examples/scenario_runner --list [--json]
+//       Enumerate the registered scenarios (paper figures/tables, the
+//       partition / flapping / churn kinds, and the composed fault
+//       timelines). --json emits a machine-readable catalog: name, paper
+//       ref, description, cluster size and the fault-timeline summary.
 //
 //   ./examples/scenario_runner --scenario NAME [overrides]
 //       Run a cataloged scenario; any flag below overrides that field.
@@ -22,6 +24,14 @@
 //     --quiesce S        settling time, seconds      (default 15)
 //     --alpha A --beta B suspicion tuning            (default 5 / 6)
 //     --seed S           RNG seed                    (default 1)
+//
+//   ./examples/scenario_runner --fault SPEC [--fault SPEC]... [flags]
+//       Compose a fault timeline instead of a single anomaly; each SPEC is
+//       KIND@AT:DUR[,key=val]... (see fault/fault.h for the grammar), e.g.
+//         --fault stress@0s:60s,victims=2 --fault partition@15s:20s,victims=5
+//         --fault loss@0s:90s,pct=25,egress=0.3,ingress=0.1
+//       --fault replaces the --anomaly/--victims/--duration/--interval
+//       single-slot flags (mixing them is rejected).
 //
 //   ./examples/scenario_runner --campaign [--reps N] [--jobs N]
 //                              [--json FILE] [--csv FILE] [flags]
@@ -44,6 +54,7 @@
 #include <optional>
 #include <string>
 
+#include "fault/fault.h"
 #include "harness/campaign.h"
 #include "harness/report.h"
 #include "harness/scenario.h"
@@ -122,16 +133,42 @@ swim::Config config_by_name(const std::string& name) {
               "' (expected swim|lha-probe|lha-suspicion|buddy|lifeguard)");
 }
 
+/// The timeline a catalog entry executes: explicit, or the AnomalyPlan
+/// shim's one-entry equivalent. Shown in both catalog formats.
+std::string timeline_summary(const Scenario& s) {
+  const fault::Timeline tl = s.effective_timeline();
+  return tl.empty() ? "none" : tl.summary();
+}
+
 void list_catalog() {
-  Table t({"Scenario", "Paper", "Anomaly", "Nodes", "Description"});
+  Table t({"Scenario", "Paper", "Fault timeline", "Nodes", "Description"});
   for (const Scenario& s : ScenarioRegistry::builtin().all()) {
     t.add_row({s.name, s.paper_ref.empty() ? "-" : s.paper_ref,
-               anomaly_kind_name(s.anomaly.kind),
-               std::to_string(s.cluster_size), s.summary});
+               timeline_summary(s), std::to_string(s.cluster_size),
+               s.summary});
   }
   t.print();
   std::printf("\nRun one with: scenario_runner --scenario NAME "
               "(flags override fields; e.g. --nodes 32 --length 60)\n");
+}
+
+/// Machine-readable catalog for tooling: one object per scenario.
+/// (json_escape comes from harness/report.h — one escaping rule set.)
+void list_catalog_json() {
+  std::printf("[\n");
+  const auto& all = ScenarioRegistry::builtin().all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Scenario& s = all[i];
+    std::printf("  {\"name\": \"%s\", \"paper_ref\": \"%s\", "
+                "\"description\": \"%s\", \"nodes\": %d, "
+                "\"run_length_s\": %.0f, \"timeline\": \"%s\"}%s\n",
+                json_escape(s.name).c_str(), json_escape(s.paper_ref).c_str(),
+                json_escape(s.summary).c_str(), s.cluster_size,
+                s.run_length.seconds(),
+                json_escape(timeline_summary(s)).c_str(),
+                i + 1 < all.size() ? "," : "");
+  }
+  std::printf("]\n");
 }
 
 std::string mean_ci(const Summary& s) {
@@ -189,6 +226,24 @@ void report(const RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Catalog mode is handled up front so `--json` can be a bare flag here
+  // while remaining `--json FILE` in campaign mode.
+  {
+    bool list_mode = false, json_mode = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--list") == 0) list_mode = true;
+      if (std::strcmp(argv[i], "--json") == 0) json_mode = true;
+    }
+    if (list_mode) {
+      if (json_mode) {
+        list_catalog_json();
+      } else {
+        list_catalog();
+      }
+      return 0;
+    }
+  }
+
   Scenario s;
   s.name = "custom";
   s.summary = "ad-hoc scenario composed from flags";
@@ -204,6 +259,7 @@ int main(int argc, char** argv) {
   std::optional<Duration> duration, interval, length, quiesce;
   std::optional<std::uint64_t> seed;
   std::optional<std::string> anomaly_name, config_name;
+  std::vector<fault::TimelineEntry> fault_entries;
   bool campaign_mode = false;
   int reps = 5;
   int jobs = 0;  // 0 = one worker per hardware thread
@@ -215,9 +271,11 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage_error("missing value for " + arg);
       return argv[++i];
     };
-    if (arg == "--list") {
-      list_catalog();
-      return 0;
+    if (arg == "--fault") {
+      std::string error;
+      const auto entry = fault::parse_timeline_entry(next(), error);
+      if (!entry) usage_error("--fault: " + error);
+      fault_entries.push_back(*entry);
     } else if (arg == "--scenario") {
       const std::string name = next();
       const Scenario* found = ScenarioRegistry::builtin().find(name);
@@ -286,13 +344,32 @@ int main(int argc, char** argv) {
   if (duration) s.anomaly.duration = *duration;
   if (interval) s.anomaly.interval = *interval;
 
-  std::printf("scenario: %s — %d nodes, %s, anomaly=%s victims=%d "
-              "D=%.0fms I=%.0fms length=%.0fs seed=%llu\n\n",
-              s.name.c_str(), s.cluster_size, s.config.table1_name().c_str(),
-              anomaly_kind_name(s.anomaly.kind), s.anomaly.victims,
-              s.anomaly.duration.millis(), s.anomaly.interval.millis(),
-              s.run_length.seconds(),
-              static_cast<unsigned long long>(s.seed));
+  if (!fault_entries.empty()) {
+    if (anomaly_name || victims || duration || interval) {
+      usage_error("--fault composes a timeline and cannot be mixed with the "
+                  "single-slot --anomaly/--victims/--duration/--interval "
+                  "flags");
+    }
+    s.anomaly = AnomalyPlan::none();
+    s.timeline = fault::Timeline{};
+    for (fault::TimelineEntry& e : fault_entries) s.timeline.add(std::move(e));
+  }
+
+  if (s.timeline.empty()) {
+    std::printf("scenario: %s — %d nodes, %s, anomaly=%s victims=%d "
+                "D=%.0fms I=%.0fms length=%.0fs seed=%llu\n\n",
+                s.name.c_str(), s.cluster_size, s.config.table1_name().c_str(),
+                anomaly_kind_name(s.anomaly.kind), s.anomaly.victims,
+                s.anomaly.duration.millis(), s.anomaly.interval.millis(),
+                s.run_length.seconds(),
+                static_cast<unsigned long long>(s.seed));
+  } else {
+    std::printf("scenario: %s — %d nodes, %s, timeline [%s] "
+                "length=%.0fs seed=%llu\n\n",
+                s.name.c_str(), s.cluster_size, s.config.table1_name().c_str(),
+                s.timeline.summary().c_str(), s.run_length.seconds(),
+                static_cast<unsigned long long>(s.seed));
+  }
 
   try {
     if (campaign_mode) {

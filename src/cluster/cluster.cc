@@ -158,6 +158,24 @@ void Cluster::stop_node(int index) {
   agent.rt->post([node] { node->stop(); });
 }
 
+void Cluster::crash_node(int index) {
+  if (impl_->sim) {
+    impl_->sim->crash_node(index);
+    return;
+  }
+  stop_node(index);
+}
+
+void Cluster::restart_node(int index) {
+  if (impl_->sim) {
+    impl_->sim->restart_node(index);
+    return;
+  }
+  throw std::invalid_argument(
+      "Cluster::restart_node is only supported on the sim backend — the UDP "
+      "runtime joins its loop thread on stop and cannot be restarted yet");
+}
+
 Metrics Cluster::aggregate_metrics() const {
   if (impl_->sim) return impl_->sim->aggregate_metrics();
   Metrics out;

@@ -79,6 +79,13 @@ class Cluster {
   /// Hard-stop one node (no graceful leave), marshalled onto its loop
   /// thread on the UDP backend. The rest of the cluster keeps running.
   void stop_node(int index);
+  /// Hard-kill one node (process death: it stops processing everything).
+  /// Used by churn-style faults; on kUdp this is stop_node.
+  void crash_node(int index);
+  /// Replace a crashed node with a fresh process at the same address and
+  /// rejoin it through node 0 (see sim::Simulator::restart_node). kSim only;
+  /// throws std::invalid_argument on the UDP backend.
+  void restart_node(int index);
 
   /// Merged metrics of every node (plus the network model on kSim).
   Metrics aggregate_metrics() const;

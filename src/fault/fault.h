@@ -1,0 +1,208 @@
+// Composable fault-injection value types (see DESIGN.md, "Fault layer").
+//
+// A `Fault` is one kind of badness with its parameters — the process-level
+// kinds the paper's evaluation is built on (block/threshold, interval
+// cycles, CPU-starvation stress, flapping, churn, partition) plus
+// network-level primitives the single-slot AnomalyPlan could never express:
+// asymmetric link loss, added latency/jitter, datagram duplication and
+// reordering.
+//
+// A `VictimSelector` says *who* is afflicted: a uniform random draw (the
+// paper's choice), explicit node indices, a percentage of the cluster, or a
+// contiguous island.
+//
+// A `fault::Timeline` is an ordered list of phased entries — each a Fault, a
+// VictimSelector, an onset offset `at` and an active `duration`. Entries may
+// overlap freely ("partition during CPU exhaustion") or be sequenced
+// ("churn after the heal"). Timelines are plain values: validate() returns
+// one actionable message per defect, parse_timeline_entry() builds entries
+// from `kind@AT:DUR,key=val` flag syntax, and summary() renders them for
+// catalogs.
+//
+// Execution lives in fault/injector.h. harness::AnomalyPlan is now a thin
+// shim producing a one-entry Timeline (scenario.h); its replay is
+// bit-identical to the pre-Timeline engine by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/anomaly.h"
+
+namespace lifeguard::fault {
+
+// ---------------------------------------------------------------------------
+// Fault
+
+enum class FaultKind : std::uint8_t {
+  // -- process-level (victims' protocol I/O or the process itself) --
+  kBlock = 0,      ///< sends+receives blocked for the whole span (§V-D1)
+  kIntervalBlock,  ///< lock-step blocked-for-D / open-for-I cycles (§V-D2)
+  kStress,         ///< randomized CPU-starvation cycles (§II, Fig. 1)
+  kFlapping,       ///< per-victim unsynchronized D/I cycles
+  kChurn,          ///< victims crash, stay down, restart and rejoin in cycles
+  kPartition,      ///< victims split into an island; re-merged at span end
+  // -- network-level (victims' links; the rest of the fabric is untouched) --
+  kLinkLoss,   ///< extra datagram loss on victims' links (asymmetric)
+  kLatency,    ///< added one-way delay + jitter on victims' links
+  kDuplicate,  ///< UDP datagrams to/from victims delivered twice
+  kReorder,    ///< UDP datagrams randomly delayed past later traffic
+};
+
+const char* fault_kind_name(FaultKind k);
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
+/// True for the kinds that perturb links rather than processes.
+bool is_network_fault(FaultKind k);
+
+/// One kind of badness plus its parameters. Which fields matter depends on
+/// `kind`; the factories document each shape and are the intended way to
+/// build one.
+struct Fault {
+  FaultKind kind = FaultKind::kBlock;
+
+  /// kIntervalBlock/kFlapping: blocked span D per cycle. kChurn: downtime
+  /// between crash and restart.
+  Duration period{};
+  /// kIntervalBlock/kFlapping: open window I per cycle. kChurn: uptime
+  /// between restart and the next crash.
+  Duration gap{};
+  /// kStress: block/run span distributions.
+  sim::StressParams stress;
+
+  /// kLinkLoss: drop probability for datagrams a victim *sends* / *receives*
+  /// — asymmetric on purpose (a saturated uplink loses egress first).
+  double egress_loss = 0.0;
+  double ingress_loss = 0.0;
+  /// kLatency: fixed added one-way delay plus uniform jitter in [0, jitter].
+  Duration extra_latency{};
+  Duration jitter{};
+  /// kDuplicate/kReorder: per-datagram probability.
+  double probability = 0.0;
+  /// kReorder: an affected datagram is delayed a further uniform [0, spread].
+  Duration spread{};
+
+  static Fault block();
+  static Fault interval_block(Duration d, Duration i);
+  static Fault stressed(sim::StressParams params = {});
+  static Fault flapping(Duration d, Duration i);
+  static Fault churn(Duration downtime, Duration uptime);
+  static Fault partition();
+  static Fault link_loss(double egress, double ingress);
+  static Fault latency(Duration extra, Duration jitter = {});
+  static Fault duplicate(double probability);
+  static Fault reorder(double probability, Duration spread);
+};
+
+// ---------------------------------------------------------------------------
+// Victim selection
+
+/// Who a fault afflicts. resolve() draws from the cluster Rng only for the
+/// random modes, in a fixed order, so (scenario, seed) replays identically.
+struct VictimSelector {
+  enum class Mode : std::uint8_t {
+    kUniform,   ///< `count` distinct members, uniform without replacement
+    kExplicit,  ///< exactly `indices`
+    kFraction,  ///< round(fraction * cluster_size) members, uniform
+    kIsland,    ///< the contiguous block [first, first + count)
+  };
+
+  Mode mode = Mode::kUniform;
+  int count = 0;
+  double fraction = 0.0;
+  std::vector<int> indices;
+  int first = 0;  ///< kIsland only
+
+  static VictimSelector uniform(int count);
+  static VictimSelector nodes(std::vector<int> indices);
+  static VictimSelector fraction_of(double fraction);
+  static VictimSelector island(int size, int first = 0);
+
+  /// How many victims this resolves to in a cluster of `cluster_size`.
+  int resolved_count(int cluster_size) const;
+
+  /// Materialize the victim set. `exclude_seed_node` removes node 0 from the
+  /// random draws (churn: node 0 is the rejoin seed). The uniform draw is
+  /// shuffle-then-truncate, matching the legacy pick_victims() exactly so
+  /// AnomalyPlan replay stays bit-identical.
+  std::vector<int> resolve(int cluster_size, Rng& rng,
+                           bool exclude_seed_node) const;
+
+  /// "x4", "nodes 1+3+5", "25%", "island [0,4)" — for summaries.
+  std::string describe() const;
+};
+
+// ---------------------------------------------------------------------------
+// Timeline
+
+/// One phased entry: at `at` (offset from injection start, i.e. after the
+/// quiesce), `fault` afflicts `victims` for `duration`. Cycling kinds keep
+/// cycling until the span closes; partition re-merges and network overlays
+/// are removed at span end. A block whose span outlives the observation
+/// window keeps the run alive until it ends (the engine extends the run).
+struct TimelineEntry {
+  Duration at{};
+  Duration duration{};
+  Fault fault;
+  VictimSelector victims = VictimSelector::uniform(1);
+
+  /// "loss@10s+30s x2 egress=0.30" — stable, grep-able.
+  std::string describe() const;
+};
+
+class Timeline {
+ public:
+  Timeline() = default;
+
+  /// Append an entry; returns *this for chaining.
+  Timeline& add(Duration at, Duration duration, Fault fault,
+                VictimSelector victims);
+  Timeline& add(TimelineEntry entry);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<TimelineEntry>& entries() const { return entries_; }
+  /// Mutable access for sweep axes; throws std::out_of_range with an
+  /// actionable message when `i` does not name an entry.
+  TimelineEntry& entry(std::size_t i);
+
+  /// Empty when runnable against a cluster of `cluster_size`; otherwise one
+  /// message per defect, each naming the offending entry.
+  std::vector<std::string> validate(int cluster_size) const;
+
+  /// "block@0s+16s x4; loss@10s+30s x2 egress=0.30" — catalog / --json form.
+  std::string summary() const;
+
+ private:
+  std::vector<TimelineEntry> entries_;
+};
+
+/// Parse one `--fault` flag value into an entry. Grammar:
+///
+///   KIND@AT:DUR[,key=value]...
+///
+/// KIND is a fault_kind_name(). AT/DUR (and every duration value) accept
+/// `us`, `ms` or `s` suffixes; a bare number is milliseconds. Keys:
+///   victims=N | nodes=A+B+C | pct=P | island=N[+FIRST]   (selector)
+///   d=DUR i=DUR            cycle shape (interval/flapping); churn aliases
+///   down=DUR up=DUR        churn downtime/uptime
+///   egress=P ingress=P     link loss probabilities
+///   extra=DUR jitter=DUR   added latency
+///   p=P spread=DUR         duplicate/reorder probability and reorder spread
+///
+/// Returns nullopt and sets `error` (naming the offending token) on any
+/// malformed input. Semantic checks are Timeline::validate()'s job.
+std::optional<TimelineEntry> parse_timeline_entry(std::string_view spec,
+                                                  std::string& error);
+
+/// "The test ends at the end of the next anomalous period" (§V-D2):
+/// `span` rounded up to whole (duration + interval) cycles. One definition,
+/// shared by the injector's drain computation and the legacy-grid sweeps, so
+/// shim parity cannot drift.
+Duration cycle_aligned_length(Duration span, Duration duration,
+                              Duration interval);
+
+}  // namespace lifeguard::fault

@@ -76,6 +76,30 @@ Axis Axis::configs(const std::vector<NamedConfig>& cfgs) {
   return a;
 }
 
+Axis Axis::timeline_at(std::size_t entry, const std::vector<Duration>& values) {
+  Axis a;
+  a.name = "timeline[" + std::to_string(entry) + "].at";
+  for (Duration d : values) {
+    a.points.push_back({"e" + std::to_string(entry) + "@" + ms_label(d),
+                        static_cast<std::uint64_t>(d.us),
+                        [entry, d](Scenario& s) { s.timeline.entry(entry).at = d; }});
+  }
+  return a;
+}
+
+Axis Axis::timeline_duration(std::size_t entry,
+                             const std::vector<Duration>& values) {
+  Axis a;
+  a.name = "timeline[" + std::to_string(entry) + "].duration";
+  for (Duration d : values) {
+    a.points.push_back(
+        {"e" + std::to_string(entry) + "+" + ms_label(d),
+         static_cast<std::uint64_t>(d.us),
+         [entry, d](Scenario& s) { s.timeline.entry(entry).duration = d; }});
+  }
+  return a;
+}
+
 Axis Axis::custom(std::string name, std::vector<AxisPoint> points) {
   Axis a;
   a.name = std::move(name);

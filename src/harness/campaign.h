@@ -65,6 +65,14 @@ struct Axis {
   /// Protocol-configuration sweep. All points share salt 0: runs are paired
   /// across configurations by construction.
   static Axis configs(const std::vector<NamedConfig>& cfgs);
+  /// fault::Timeline sweeps over entry `entry` of the base scenario's
+  /// timeline (salt = microseconds; labels in ms, prefixed with the entry
+  /// index). Applying a point to a scenario whose timeline lacks that entry
+  /// throws std::out_of_range — sweep axes name real entries.
+  static Axis timeline_at(std::size_t entry,
+                          const std::vector<Duration>& values);
+  static Axis timeline_duration(std::size_t entry,
+                                const std::vector<Duration>& values);
   static Axis custom(std::string name, std::vector<AxisPoint> points);
 };
 

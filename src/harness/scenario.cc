@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "cluster/cluster.h"
+#include "fault/injector.h"
 #include "sim/simulator.h"
 #include "swim/events.h"
 
@@ -100,6 +101,41 @@ AnomalyPlan AnomalyPlan::churn(int victims, Duration downtime,
   return p;
 }
 
+fault::Timeline AnomalyPlan::to_timeline(Duration run_length) const {
+  // The one-entry mapping the engine executes. Entry spans: one-shot kinds
+  // (threshold, partition) are active for their own duration; cycling kinds
+  // (interval, stress, flapping, churn) keep injecting until the observation
+  // window closes, so their span is run_length itself.
+  fault::Timeline tl;
+  const fault::VictimSelector who = fault::VictimSelector::uniform(victims);
+  switch (kind) {
+    case AnomalyKind::kNone:
+      break;
+    case AnomalyKind::kThreshold:
+      tl.add(Duration{}, duration, fault::Fault::block(), who);
+      break;
+    case AnomalyKind::kInterval:
+      tl.add(Duration{}, run_length,
+             fault::Fault::interval_block(duration, interval), who);
+      break;
+    case AnomalyKind::kStress:
+      tl.add(Duration{}, run_length, fault::Fault::stressed(stress), who);
+      break;
+    case AnomalyKind::kPartition:
+      tl.add(Duration{}, duration, fault::Fault::partition(), who);
+      break;
+    case AnomalyKind::kFlapping:
+      tl.add(Duration{}, run_length, fault::Fault::flapping(duration, interval),
+             who);
+      break;
+    case AnomalyKind::kChurn:
+      tl.add(Duration{}, run_length, fault::Fault::churn(duration, interval),
+             who);
+      break;
+  }
+  return tl;
+}
+
 // ---------------------------------------------------------------------------
 // Validation
 
@@ -150,6 +186,18 @@ std::vector<std::string> Scenario::validate() const {
     fail("network latency range [" + secs(network.latency_min) + ", " +
          secs(network.latency_max) +
          "] must satisfy 0 <= latency_min <= latency_max");
+  }
+
+  if (!timeline.empty()) {
+    if (anomaly.kind != AnomalyKind::kNone) {
+      fail(std::string("scenario sets both anomaly (kind '") +
+           anomaly_kind_name(anomaly.kind) +
+           "') and a fault timeline — migrate the AnomalyPlan entry into the "
+           "timeline (AnomalyPlan::to_timeline) or clear one of them");
+    }
+    for (std::string& e : timeline.validate(cluster_size)) {
+      fail(std::move(e));
+    }
   }
 
   const AnomalyPlan& a = anomaly;
@@ -326,26 +374,11 @@ void extract_results(sim::Simulator& sim, const std::vector<int>& victims,
   out.bytes_sent = out.metrics.counter_value("net.bytes_sent");
 }
 
-/// Churn victims: drawn from [1, n) — node 0 is the rejoin seed.
-std::vector<int> pick_churn_victims(sim::Simulator& sim, int count) {
-  std::vector<int> candidates;
-  for (int i = 1; i < sim.size(); ++i) candidates.push_back(i);
-  sim.rng().shuffle(candidates);
-  if (count > static_cast<int>(candidates.size())) {
-    count = static_cast<int>(candidates.size());
-  }
-  candidates.resize(static_cast<std::size_t>(count));
-  return candidates;
-}
-
 }  // namespace
 
-Duration cycle_aligned_length(Duration run_length, Duration duration,
-                              Duration interval) {
-  const Duration cycle = duration + interval;
-  if (cycle <= Duration{0}) return run_length;
-  const std::int64_t cycles = (run_length.us + cycle.us - 1) / cycle.us;
-  return cycle * cycles;
+fault::Timeline Scenario::effective_timeline() const {
+  if (!timeline.empty()) return timeline;
+  return anomaly.to_timeline(run_length);
 }
 
 RunResult run(const Scenario& s) {
@@ -365,67 +398,20 @@ RunResult run(const Scenario& s) {
   cluster->start();
   cluster->run_for(s.quiesce);
 
-  const AnomalyPlan& a = s.anomaly;
-  const std::vector<int> victims =
-      a.kind == AnomalyKind::kChurn ? pick_churn_victims(sim, a.victims)
-                                    : sim::pick_victims(sim, a.victims);
+  // One path for every scenario: compile the effective timeline (the
+  // explicit one, or the AnomalyPlan shim's one-entry equivalent) onto the
+  // event queue and run until every entry has completed and settled.
+  const fault::Timeline tl = s.effective_timeline();
   const TimePoint start = sim.now();
-  const TimePoint end = start + s.run_length;
-
-  switch (a.kind) {
-    case AnomalyKind::kNone:
-      sim.run_until(end);
-      break;
-
-    case AnomalyKind::kThreshold:
-      sim::schedule_threshold_anomaly(sim, victims, start, a.duration);
-      sim.run_until(end);
-      break;
-
-    case AnomalyKind::kInterval:
-      sim::schedule_interval_anomaly(sim, victims, start, a.duration,
-                                     a.interval, end);
-      // Run to the end of the final scheduled cycle plus a short drain.
-      sim.run_until(start +
-                    cycle_aligned_length(s.run_length, a.duration, a.interval) +
-                    sec(1));
-      break;
-
-    case AnomalyKind::kStress:
-      sim::schedule_stress_anomaly(sim, victims, start, end, a.stress);
-      sim.run_until(end + sec(2));
-      break;
-
-    case AnomalyKind::kPartition: {
-      sim.at(start, [&sim, victims] {
-        for (int v : victims) sim.network().set_partition(v, 1);
-      });
-      sim.at(start + a.duration, [&sim] { sim.network().heal(); });
-      sim.run_until(end + sec(1));
-      break;
-    }
-
-    case AnomalyKind::kFlapping:
-      sim::schedule_flapping_anomaly(sim, victims, start, a.duration,
-                                     a.interval, end);
-      // A phase-shifted final cycle may close up to `duration` past `end`.
-      sim.run_until(end + a.duration + sec(1));
-      break;
-
-    case AnomalyKind::kChurn:
-      sim::schedule_churn_anomaly(sim, victims, start, a.duration, a.interval,
-                                  end);
-      // The last crash before `end` restarts at most `duration` later; give
-      // the rejoin time to disseminate.
-      sim.run_until(end + a.duration + sec(2));
-      break;
-  }
+  const fault::InjectionOutcome outcome =
+      fault::FaultInjector().inject(sim, tl, start, s.run_length);
+  sim.run_until(start + outcome.total_run);
 
   RunResult out;
   out.scenario_name = s.name;
   out.cluster_size = s.cluster_size;
-  out.victims = victims;
-  extract_results(sim, victims, start, out);
+  out.victims = outcome.victims;
+  extract_results(sim, outcome.victims, start, out);
   return out;
 }
 
@@ -596,6 +582,66 @@ ScenarioRegistry make_builtin() {
     s.config = swim::Config::lifeguard();
     s.anomaly = AnomalyPlan::churn(4, sec(20), sec(40));
     s.run_length = sec(120);
+    reg.add(std::move(s));
+  }
+
+  // ---- composed fault timelines (inexpressible as a single AnomalyPlan) --
+  {
+    Scenario s = base("partition-under-stress",
+                      "2 members CPU-starved the whole minute while 5 others "
+                      "split off mid-run and re-merge 20 s later",
+                      "");
+    s.cluster_size = 16;
+    s.config = swim::Config::lifeguard();
+    s.timeline.add(sec(0), sec(60), fault::Fault::stressed(),
+                   fault::VictimSelector::uniform(2));
+    s.timeline.add(sec(15), sec(20), fault::Fault::partition(),
+                   fault::VictimSelector::uniform(5));
+    s.run_length = sec(60);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("lossy-flapping",
+                      "3 members flap (8 s stalls, 100 ms windows) while a "
+                      "quarter of the cluster sits behind 30% lossy links",
+                      "");
+    s.cluster_size = 32;
+    s.config = swim::Config::lifeguard();
+    s.timeline.add(sec(0), sec(90), fault::Fault::flapping(sec(8), msec(100)),
+                   fault::VictimSelector::uniform(3));
+    s.timeline.add(sec(0), sec(90), fault::Fault::link_loss(0.3, 0.3),
+                   fault::VictimSelector::fraction_of(0.25));
+    s.run_length = sec(90);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("churn-after-heal",
+                      "a 5-member island splits off for 30 s; 10 s after the "
+                      "heal, 3 members churn in 10 s-down / 20 s-up cycles",
+                      "");
+    s.cluster_size = 16;
+    s.config = swim::Config::lifeguard();
+    s.timeline.add(sec(0), sec(30), fault::Fault::partition(),
+                   fault::VictimSelector::uniform(5));
+    s.timeline.add(sec(40), sec(50), fault::Fault::churn(sec(10), sec(20)),
+                   fault::VictimSelector::uniform(3));
+    s.run_length = sec(100);
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("packet-chaos",
+                      "half the cluster behind jittery +30 ms links while 6 "
+                      "members duplicate and 6 reorder their UDP traffic",
+                      "");
+    s.cluster_size = 24;
+    s.config = swim::Config::lifeguard();
+    s.timeline.add(sec(0), sec(60), fault::Fault::latency(msec(30), msec(20)),
+                   fault::VictimSelector::fraction_of(0.5));
+    s.timeline.add(sec(10), sec(40), fault::Fault::duplicate(0.25),
+                   fault::VictimSelector::uniform(6));
+    s.timeline.add(sec(20), sec(30), fault::Fault::reorder(0.3, msec(200)),
+                   fault::VictimSelector::uniform(6));
+    s.run_length = sec(60);
     reg.add(std::move(s));
   }
   return reg;

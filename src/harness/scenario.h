@@ -28,6 +28,7 @@
 
 #include "common/metrics.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "sim/anomaly.h"
 #include "sim/network.h"
 #include "swim/config.h"
@@ -35,7 +36,7 @@
 namespace lifeguard::harness {
 
 // ---------------------------------------------------------------------------
-// Anomaly plan
+// Anomaly plan (legacy shim over fault::Timeline)
 
 enum class AnomalyKind : std::uint8_t {
   kNone = 0,       ///< healthy steady state (load / convergence baselines)
@@ -50,8 +51,13 @@ enum class AnomalyKind : std::uint8_t {
 const char* anomaly_kind_name(AnomalyKind k);
 std::optional<AnomalyKind> anomaly_kind_from_name(std::string_view name);
 
-/// What goes wrong during a run. The meaning of `duration` / `interval`
-/// depends on `kind`; the factory helpers document each shape.
+/// What goes wrong during a run — the original single-slot plan, now a thin
+/// shim over the composable fault layer: the engine executes
+/// to_timeline(run_length), a one-entry fault::Timeline, and replays
+/// bit-identically to the pre-Timeline engine. New code (and anything that
+/// needs composition, network-level faults, or non-uniform victim selection)
+/// should populate Scenario::timeline directly. The meaning of `duration` /
+/// `interval` depends on `kind`; the factory helpers document each shape.
 struct AnomalyPlan {
   AnomalyKind kind = AnomalyKind::kNone;
   /// How many members are afflicted (the anomaly set; C in the paper).
@@ -74,6 +80,11 @@ struct AnomalyPlan {
   static AnomalyPlan flapping(int victims, Duration duration,
                               Duration interval);
   static AnomalyPlan churn(int victims, Duration downtime, Duration uptime);
+
+  /// The shim: this plan as a one-entry fault::Timeline (empty for kNone).
+  /// `run_length` bounds the cycling kinds, which inject until the
+  /// observation window closes.
+  fault::Timeline to_timeline(Duration run_length) const;
 };
 
 // ---------------------------------------------------------------------------
@@ -109,10 +120,22 @@ struct Scenario {
   /// static), so concurrent trials are bit-identical to sequential ones.
   std::uint64_t seed = 1;
 
+  /// Legacy single-fault slot (a shim over `timeline`; see AnomalyPlan).
+  /// Mutually exclusive with a non-empty `timeline`.
   AnomalyPlan anomaly;
+  /// The composable fault plan: an ordered list of phased entries, each a
+  /// Fault + VictimSelector active over [at, at + duration) after the
+  /// quiesce. Overlap is allowed ("partition during CPU exhaustion"). When
+  /// empty, the engine runs anomaly.to_timeline(run_length) instead.
+  fault::Timeline timeline;
   /// Observation window measured from anomaly start (the cycling kinds keep
-  /// injecting until it closes; see the engine for per-kind drain details).
+  /// injecting until it closes; see fault::FaultInjector::plan_total_run for
+  /// per-kind drain details).
   Duration run_length = sec(60);
+
+  /// The timeline the engine will execute: `timeline` when non-empty,
+  /// otherwise the AnomalyPlan shim's one-entry equivalent.
+  fault::Timeline effective_timeline() const;
 
   /// Empty when the descriptor is runnable; otherwise one actionable message
   /// per defect.
@@ -136,7 +159,10 @@ class ScenarioError : public std::runtime_error {
 struct RunResult {
   std::string scenario_name;
   int cluster_size = 0;
-  std::vector<int> victims;  ///< anomaly set (node indices)
+  /// Union of every timeline entry's victim set (node indices,
+  /// first-occurrence order). Detection/dissemination latency and the FP
+  /// accounting treat all of them as "anomalous" members.
+  std::vector<int> victims;
 
   // -- false positives (§V-F1) --
   std::int64_t fp_events = 0;          ///< FP: originated, healthy subject
@@ -160,11 +186,13 @@ struct RunResult {
 RunResult run(const Scenario& s);
 
 /// "The test ends at the end of the next anomalous period" (§V-D2):
-/// `run_length` rounded up to whole (duration + interval) cycles. Used by
-/// the kInterval engine and by the legacy-shim mapping — one definition so
-/// shim parity cannot drift.
-Duration cycle_aligned_length(Duration run_length, Duration duration,
-                              Duration interval);
+/// `run_length` rounded up to whole (duration + interval) cycles. Forwards
+/// to fault::cycle_aligned_length — one definition (shared with the
+/// injector's drain computation) so shim parity cannot drift.
+inline Duration cycle_aligned_length(Duration run_length, Duration duration,
+                                     Duration interval) {
+  return fault::cycle_aligned_length(run_length, duration, interval);
+}
 
 // ---------------------------------------------------------------------------
 // Registry

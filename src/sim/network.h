@@ -1,9 +1,18 @@
-// Network model: latency, loss and partitions between simulated nodes.
+// Network model: latency, loss, partitions and link-fault overlays between
+// simulated nodes.
 //
 // Defaults approximate the paper's loopback testbed (sub-millisecond,
 // lossless). UDP loss and partitions are available for failure-injection
 // tests and robustness experiments; the reliable channel is never subjected
 // to random loss (it models TCP) but does respect partitions and latency.
+//
+// Link-fault overlays (fault::Timeline network primitives) stack per node:
+// asymmetric extra loss, added latency/jitter, duplication and reordering.
+// Random loss / duplication / reordering afflict the UDP channel only — the
+// reliable channel models TCP, whose retransmit/sequencing machinery masks
+// them — while added latency delays both channels. When no overlay is
+// installed anywhere, every query consumes exactly the same Rng draws as the
+// pre-overlay model, so existing (scenario, seed) runs replay bit-identically.
 #pragma once
 
 #include <cstdint>
@@ -22,17 +31,51 @@ struct NetworkParams {
   double udp_loss = 0.0;
 };
 
+/// One link-fault overlay: what a fault::Timeline network entry installs on
+/// each victim for its span. Several overlays on one node combine
+/// independently (loss/duplicate/reorder probabilities compose as
+/// 1 - Π(1 - pᵢ); latencies add; the reorder spread takes the max).
+struct LinkFault {
+  /// Extra drop probability for datagrams the node sends / receives.
+  double egress_loss = 0.0;
+  double ingress_loss = 0.0;
+  /// Added one-way delay, plus uniform jitter in [0, jitter] per datagram.
+  Duration extra_latency{};
+  Duration jitter{};
+  /// Probability a UDP datagram is delivered twice.
+  double duplicate_p = 0.0;
+  /// Probability a UDP datagram is held back an extra uniform
+  /// [0, reorder_spread] — enough to land behind later traffic.
+  double reorder_p = 0.0;
+  Duration reorder_spread{};
+
+  bool any() const {
+    return egress_loss > 0.0 || ingress_loss > 0.0 ||
+           !extra_latency.is_zero() || !jitter.is_zero() ||
+           duplicate_p > 0.0 || reorder_p > 0.0;
+  }
+};
+
 class Network {
  public:
   Network(NetworkParams params, int num_nodes, Rng rng)
       : params_(params), groups_(static_cast<std::size_t>(num_nodes), 0),
-        rng_(rng) {}
+        faults_(static_cast<std::size_t>(num_nodes)), rng_(rng) {}
 
-  /// Sample a one-way delivery latency.
+  /// Sample a one-way delivery latency from the base distribution only.
   Duration sample_latency();
 
-  /// True when the datagram should be dropped (loss or partition).
+  /// One-way delay for a specific link: the base sample plus both endpoints'
+  /// latency overlays (jitter, and — on kUdp — a possible reorder penalty).
+  /// Identical to sample_latency() when no overlay touches the link.
+  Duration sample_link_latency(int from_node, int to_node, Channel ch);
+
+  /// True when the datagram should be dropped (loss, partition, or a loss
+  /// overlay on either endpoint).
   bool should_drop(int from_node, int to_node, Channel ch);
+
+  /// True when this UDP datagram should additionally be delivered twice.
+  bool should_duplicate(int from_node, int to_node);
 
   /// Assign `node` to partition `group`; nodes in different groups cannot
   /// exchange packets. Group 0 is the default for everyone.
@@ -40,12 +83,35 @@ class Network {
   /// Heal all partitions.
   void heal();
 
+  // ---- link-fault overlays ----
+  /// Install an overlay on `node`; returns a token for remove_link_fault.
+  int add_link_fault(int node, const LinkFault& f);
+  /// Remove one overlay by its token. Unknown tokens are ignored.
+  void remove_link_fault(int node, int token);
+  /// Remove every overlay on every node.
+  void clear_link_faults();
+  /// The combined overlay currently effective on `node`.
+  const LinkFault& effective_fault(int node) const {
+    return faults_[static_cast<std::size_t>(node)].effective;
+  }
+  bool has_link_faults() const { return active_overlays_ > 0; }
+
   NetworkParams& params() { return params_; }
   Metrics& metrics() { return metrics_; }
 
  private:
+  struct NodeFaults {
+    std::vector<std::pair<int, LinkFault>> overlays;
+    LinkFault effective;  ///< cached combination of `overlays`
+  };
+
+  void recombine(NodeFaults& nf);
+
   NetworkParams params_;
   std::vector<int> groups_;
+  std::vector<NodeFaults> faults_;
+  int active_overlays_ = 0;
+  int next_token_ = 1;
   Rng rng_;
   Metrics metrics_;
 };

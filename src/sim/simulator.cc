@@ -118,15 +118,30 @@ void Simulator::route(int from_node, const Address& to,
   if (crashed_[static_cast<std::size_t>(target)]) return;  // dead host
   if (network_->should_drop(from_node, target, channel)) return;
   ++datagrams_routed_;
-  const Duration latency = network_->sample_latency();
+  const Duration latency =
+      network_->sample_link_latency(from_node, target, channel);
+  // A duplication overlay (fault::Timeline) delivers a second, independently
+  // delayed copy of a UDP datagram. Decide before the payload is moved.
+  const bool duplicate = channel == Channel::kUdp &&
+                         network_->should_duplicate(from_node, target);
   SimRuntime* rt = runtimes_[static_cast<std::size_t>(target)].get();
   const Address from = sim_address(from_node);
+  std::shared_ptr<std::vector<std::uint8_t>> copy;
+  if (duplicate) copy = std::make_shared<std::vector<std::uint8_t>>(payload);
   // The payload is moved into the delivery closure; shared_ptr keeps the
   // closure copyable for std::function.
   auto data = std::make_shared<std::vector<std::uint8_t>>(std::move(payload));
   queue_.push(now_ + latency, [rt, from, data, channel] {
     rt->deliver(from, std::move(*data), channel);
   });
+  if (duplicate) {
+    const Duration dup_latency =
+        network_->sample_link_latency(from_node, target, channel);
+    ++datagrams_routed_;
+    queue_.push(now_ + dup_latency, [rt, from, copy, channel] {
+      rt->deliver(from, std::move(*copy), channel);
+    });
+  }
 }
 
 int Simulator::index_of(const Address& addr) const {

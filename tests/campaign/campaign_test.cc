@@ -279,5 +279,69 @@ TEST(CampaignSmoke, ParallelJobs4) {
   EXPECT_GT(r.points[0].msgs.mean, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// fault::Timeline sweeps
+
+Campaign timeline_campaign() {
+  Campaign c;
+  c.name = "timeline-sweep";
+  Scenario s;
+  s.name = "timeline-base";
+  s.summary = "composed timeline fixture";
+  s.cluster_size = 10;
+  s.quiesce = sec(5);
+  s.config = swim::Config::lifeguard();
+  s.timeline.add(sec(0), sec(4), fault::Fault::block(),
+                 fault::VictimSelector::uniform(2));
+  s.timeline.add(sec(1), sec(3), fault::Fault::link_loss(0.4, 0.2),
+                 fault::VictimSelector::uniform(2));
+  s.run_length = sec(8);
+  c.base = s;
+  c.axes = {Axis::timeline_duration(0, {sec(2), sec(4)}),
+            Axis::timeline_at(1, {sec(0), sec(2)})};
+  c.repetitions = 2;
+  c.base_seed = 424;
+  return c;
+}
+
+TEST(CampaignTimelineSweep, AxesMutateTheNamedEntry) {
+  const auto grid = expand_grid(timeline_campaign());
+  ASSERT_EQ(grid.size(), 4u);
+  // Last axis fastest: points 0/1 share entry-0 duration 2 s.
+  EXPECT_EQ(grid[0].scenario.timeline.entries()[0].duration, sec(2));
+  EXPECT_EQ(grid[0].scenario.timeline.entries()[1].at, sec(0));
+  EXPECT_EQ(grid[1].scenario.timeline.entries()[1].at, sec(2));
+  EXPECT_EQ(grid[3].scenario.timeline.entries()[0].duration, sec(4));
+  EXPECT_EQ(grid[0].labels, (std::vector<std::string>{"e0+2000ms", "e1@0ms"}));
+  // Distinct salts per point (workload axis semantics).
+  EXPECT_NE(grid[0].salts, grid[1].salts);
+}
+
+TEST(CampaignTimelineSweep, SweepingAMissingEntryThrows) {
+  Campaign c = timeline_campaign();
+  c.axes = {Axis::timeline_at(7, {sec(1)})};
+  EXPECT_THROW(expand_grid(c), std::out_of_range);
+}
+
+TEST(CampaignTimelineSweep, TimelineParameterSweepIsJobsInvariant) {
+  Campaign c = timeline_campaign();
+  c.keep_trial_metrics = true;
+  c.jobs = 1;
+  const CampaignResult seq = run(c);
+  c.jobs = 8;
+  const CampaignResult par = run(c);
+  ASSERT_EQ(seq.trials.size(), 8u);
+  ASSERT_EQ(par.trials.size(), seq.trials.size());
+  for (std::size_t i = 0; i < seq.trials.size(); ++i) {
+    expect_same_trial(seq.trials[i], par.trials[i]);
+  }
+  // The injected faults left traces in at least some grid cells.
+  std::int64_t fault_drops = 0;
+  for (const TrialResult& t : seq.trials) {
+    fault_drops += t.result.metrics.counter_value("net.dropped.fault_loss");
+  }
+  EXPECT_GT(fault_drops, 0);
+}
+
 }  // namespace
 }  // namespace lifeguard::harness

@@ -1,0 +1,381 @@
+// fault:: value types — Fault factories, VictimSelector resolution,
+// Timeline validation, the --fault entry grammar, and the injector's
+// backend-agnostic drain planning.
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "fault/injector.h"
+
+namespace lifeguard::fault {
+namespace {
+
+bool mentions(const std::vector<std::string>& errors,
+              const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(), [&](const std::string& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Kinds
+
+TEST(FaultKindNames, RoundTrip) {
+  for (FaultKind k :
+       {FaultKind::kBlock, FaultKind::kIntervalBlock, FaultKind::kStress,
+        FaultKind::kFlapping, FaultKind::kChurn, FaultKind::kPartition,
+        FaultKind::kLinkLoss, FaultKind::kLatency, FaultKind::kDuplicate,
+        FaultKind::kReorder}) {
+    const auto back = fault_kind_from_name(fault_kind_name(k));
+    ASSERT_TRUE(back.has_value()) << fault_kind_name(k);
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(fault_kind_from_name("no-such-kind").has_value());
+}
+
+TEST(FaultKindNames, NetworkKindsAreClassified) {
+  EXPECT_TRUE(is_network_fault(FaultKind::kLinkLoss));
+  EXPECT_TRUE(is_network_fault(FaultKind::kLatency));
+  EXPECT_TRUE(is_network_fault(FaultKind::kDuplicate));
+  EXPECT_TRUE(is_network_fault(FaultKind::kReorder));
+  EXPECT_FALSE(is_network_fault(FaultKind::kBlock));
+  EXPECT_FALSE(is_network_fault(FaultKind::kChurn));
+}
+
+// ---------------------------------------------------------------------------
+// VictimSelector
+
+TEST(VictimSelector, UniformMatchesLegacyPickVictims) {
+  // The legacy draw: shuffle [0, n), truncate. Same seed → same set.
+  Rng a(77), b(77);
+  std::vector<int> legacy(16);
+  for (int i = 0; i < 16; ++i) legacy[static_cast<std::size_t>(i)] = i;
+  a.shuffle(legacy);
+  legacy.resize(4);
+  const auto got = VictimSelector::uniform(4).resolve(16, b, false);
+  EXPECT_EQ(got, legacy);
+}
+
+TEST(VictimSelector, ExcludeSeedNodeMatchesLegacyChurnPick) {
+  Rng a(78), b(78);
+  std::vector<int> legacy;
+  for (int i = 1; i < 12; ++i) legacy.push_back(i);
+  a.shuffle(legacy);
+  legacy.resize(3);
+  const auto got = VictimSelector::uniform(3).resolve(12, b, true);
+  EXPECT_EQ(got, legacy);
+  EXPECT_FALSE(std::count(got.begin(), got.end(), 0));
+}
+
+TEST(VictimSelector, ExplicitAndIslandDrawNothing) {
+  Rng r(1);
+  const std::uint64_t before = r.next_u64();
+  Rng probe(1);
+  EXPECT_EQ(VictimSelector::nodes({5, 2, 9}).resolve(16, probe, false),
+            (std::vector<int>{5, 2, 9}));
+  EXPECT_EQ(VictimSelector::island(4, 2).resolve(16, probe, false),
+            (std::vector<int>{2, 3, 4, 5}));
+  // No Rng draws were consumed by either resolution.
+  EXPECT_EQ(probe.next_u64(), before);
+}
+
+TEST(VictimSelector, FractionRoundsAndCaps) {
+  EXPECT_EQ(VictimSelector::fraction_of(0.25).resolved_count(16), 4);
+  EXPECT_EQ(VictimSelector::fraction_of(0.5).resolved_count(13), 7);  // round
+  Rng r(9);
+  EXPECT_EQ(VictimSelector::fraction_of(1.0).resolve(8, r, false).size(), 8u);
+}
+
+TEST(VictimSelector, OverlargeCountIsTruncatedToCluster) {
+  Rng r(3);
+  EXPECT_EQ(VictimSelector::uniform(99).resolve(6, r, false).size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline validation
+
+TEST(TimelineValidation, ValidComposedTimelineHasNoErrors) {
+  Timeline tl;
+  tl.add(sec(0), sec(60), Fault::stressed(), VictimSelector::uniform(2));
+  tl.add(sec(15), sec(20), Fault::partition(), VictimSelector::uniform(5));
+  tl.add(sec(0), sec(60), Fault::link_loss(0.3, 0.1),
+         VictimSelector::fraction_of(0.25));
+  EXPECT_TRUE(tl.validate(16).empty());
+}
+
+TEST(TimelineValidation, EachDefectNamesItsEntry) {
+  Timeline tl;
+  tl.add(Duration{-1}, Duration{0}, Fault::block(),
+         VictimSelector::uniform(0));
+  tl.add(sec(0), sec(10), Fault::interval_block(Duration{0}, Duration{0}),
+         VictimSelector::uniform(2));
+  const auto errors = tl.validate(8);
+  EXPECT_TRUE(mentions(errors, "timeline[0]"));
+  EXPECT_TRUE(mentions(errors, "at must be >= 0"));
+  EXPECT_TRUE(mentions(errors, "duration must be > 0"));
+  EXPECT_TRUE(mentions(errors, "victims count must be >= 1"));
+  EXPECT_TRUE(mentions(errors, "timeline[1]"));
+  EXPECT_TRUE(mentions(errors, "period D > 0"));
+}
+
+TEST(TimelineValidation, ChurnProtectsTheRejoinSeed) {
+  Timeline tl;
+  tl.add(sec(0), sec(30), Fault::churn(sec(5), sec(10)),
+         VictimSelector::nodes({0, 3}));
+  EXPECT_TRUE(mentions(tl.validate(8), "node 0 is the rejoin seed"));
+  Timeline island0;  // an island starting at 0 would silently skip node 0
+  island0.add(sec(0), sec(30), Fault::churn(sec(5), sec(10)),
+              VictimSelector::island(2, 0));
+  EXPECT_TRUE(mentions(island0.validate(8), "node 0 is the rejoin seed"));
+  Timeline island1;
+  island1.add(sec(0), sec(30), Fault::churn(sec(5), sec(10)),
+              VictimSelector::island(2, 1));
+  EXPECT_TRUE(island1.validate(8).empty());
+  Timeline too_many;
+  too_many.add(sec(0), sec(30), Fault::churn(sec(5), sec(10)),
+               VictimSelector::uniform(8));
+  EXPECT_TRUE(mentions(too_many.validate(8), "cluster_size - 1"));
+}
+
+TEST(TimelineValidation, FractionRoundingToZeroVictimsIsRejected) {
+  Timeline tl;
+  tl.add(sec(0), sec(10), Fault::block(), VictimSelector::fraction_of(0.1));
+  EXPECT_TRUE(mentions(tl.validate(4), "silent no-op"));
+  EXPECT_TRUE(tl.validate(16).empty());  // 10% of 16 rounds to 2
+}
+
+TEST(TimelineValidation, PartitionNeedsBothSides) {
+  Timeline tl;
+  tl.add(sec(0), sec(10), Fault::partition(), VictimSelector::uniform(8));
+  EXPECT_TRUE(mentions(tl.validate(8), "both sides"));
+}
+
+TEST(TimelineValidation, NetworkKindsCheckProbabilitiesAndSpans) {
+  Timeline tl;
+  tl.add(sec(0), sec(10), Fault::link_loss(0.0, 0.0),
+         VictimSelector::uniform(1));
+  tl.add(sec(0), sec(10), Fault::link_loss(1.5, 0.0),
+         VictimSelector::uniform(1));
+  tl.add(sec(0), sec(10), Fault::duplicate(0.0), VictimSelector::uniform(1));
+  tl.add(sec(0), sec(10), Fault::reorder(0.5, Duration{0}),
+         VictimSelector::uniform(1));
+  tl.add(sec(0), sec(10), Fault::latency(Duration{0}, Duration{0}),
+         VictimSelector::uniform(1));
+  const auto errors = tl.validate(8);
+  EXPECT_TRUE(mentions(errors, "at least one of egress/ingress"));
+  EXPECT_TRUE(mentions(errors, "probabilities must be in [0, 1]"));
+  EXPECT_TRUE(mentions(errors, "duplicate probability"));
+  EXPECT_TRUE(mentions(errors, "reorder spread"));
+  EXPECT_TRUE(mentions(errors, "at least one of extra/jitter"));
+}
+
+TEST(TimelineValidation, ExplicitIndicesMustBeInRange) {
+  Timeline tl;
+  tl.add(sec(0), sec(10), Fault::block(), VictimSelector::nodes({1, 12}));
+  EXPECT_TRUE(mentions(tl.validate(8), "outside [0, 8)"));
+}
+
+TEST(Timeline, EntryAccessorThrowsOutOfRangeWithMessage) {
+  Timeline tl;
+  tl.add(sec(0), sec(10), Fault::block(), VictimSelector::uniform(1));
+  EXPECT_NO_THROW(tl.entry(0));
+  EXPECT_THROW(tl.entry(1), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Descriptions
+
+TEST(TimelineDescribe, SummaryIsStableAndReadable) {
+  Timeline tl;
+  tl.add(sec(0), sec(16), Fault::block(), VictimSelector::uniform(4));
+  tl.add(sec(10), sec(30), Fault::link_loss(0.3, 0.1),
+         VictimSelector::nodes({1, 3}));
+  const std::string s = tl.summary();
+  EXPECT_NE(s.find("block@0s+16s x4"), std::string::npos) << s;
+  EXPECT_NE(s.find("loss@10s+30s nodes 1+3"), std::string::npos) << s;
+  EXPECT_NE(s.find("egress=0.3"), std::string::npos) << s;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (--fault grammar)
+
+TEST(ParseTimelineEntry, FullSpecRoundTrips) {
+  std::string error;
+  const auto e = parse_timeline_entry(
+      "interval@10s:60s,victims=8,d=16384,i=4", error);
+  ASSERT_TRUE(e.has_value()) << error;
+  EXPECT_EQ(e->fault.kind, FaultKind::kIntervalBlock);
+  EXPECT_EQ(e->at, sec(10));
+  EXPECT_EQ(e->duration, sec(60));
+  EXPECT_EQ(e->fault.period, msec(16384));  // bare numbers are ms
+  EXPECT_EQ(e->fault.gap, msec(4));
+  EXPECT_EQ(e->victims.mode, VictimSelector::Mode::kUniform);
+  EXPECT_EQ(e->victims.count, 8);
+}
+
+TEST(ParseTimelineEntry, SelectorsAndNetworkKeys) {
+  std::string error;
+  auto e = parse_timeline_entry("loss@0s:90s,pct=25,egress=0.3,ingress=0.1",
+                                error);
+  ASSERT_TRUE(e.has_value()) << error;
+  EXPECT_EQ(e->victims.mode, VictimSelector::Mode::kFraction);
+  EXPECT_DOUBLE_EQ(e->victims.fraction, 0.25);
+  EXPECT_DOUBLE_EQ(e->fault.egress_loss, 0.3);
+  EXPECT_DOUBLE_EQ(e->fault.ingress_loss, 0.1);
+
+  e = parse_timeline_entry("latency@500ms:30s,nodes=1+3+5,extra=20,jitter=5",
+                           error);
+  ASSERT_TRUE(e.has_value()) << error;
+  EXPECT_EQ(e->at, msec(500));
+  EXPECT_EQ(e->victims.indices, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(e->fault.extra_latency, msec(20));
+
+  e = parse_timeline_entry("reorder@0s:10s,island=4+2,p=0.5,spread=100ms",
+                           error);
+  ASSERT_TRUE(e.has_value()) << error;
+  EXPECT_EQ(e->victims.mode, VictimSelector::Mode::kIsland);
+  EXPECT_EQ(e->victims.count, 4);
+  EXPECT_EQ(e->victims.first, 2);
+  EXPECT_EQ(e->fault.spread, msec(100));
+}
+
+TEST(ParseTimelineEntry, ChurnAliases) {
+  std::string error;
+  const auto e =
+      parse_timeline_entry("churn@0s:60s,victims=3,down=10s,up=20s", error);
+  ASSERT_TRUE(e.has_value()) << error;
+  EXPECT_EQ(e->fault.period, sec(10));
+  EXPECT_EQ(e->fault.gap, sec(20));
+}
+
+TEST(ParseTimelineEntry, DefaultsToOneUniformVictim) {
+  std::string error;
+  const auto e = parse_timeline_entry("block@0s:16s", error);
+  ASSERT_TRUE(e.has_value()) << error;
+  EXPECT_EQ(e->victims.mode, VictimSelector::Mode::kUniform);
+  EXPECT_EQ(e->victims.count, 1);
+}
+
+TEST(ParseTimelineEntry, MalformedInputsNameTheToken) {
+  std::string error;
+  EXPECT_FALSE(parse_timeline_entry("block", error).has_value());
+  EXPECT_NE(error.find("KIND@AT:DUR"), std::string::npos);
+  EXPECT_FALSE(parse_timeline_entry("wat@0s:10s", error).has_value());
+  EXPECT_NE(error.find("unknown fault kind 'wat'"), std::string::npos);
+  EXPECT_FALSE(parse_timeline_entry("block@zz:10s", error).has_value());
+  EXPECT_NE(error.find("bad time"), std::string::npos);
+  EXPECT_FALSE(parse_timeline_entry("block@0s:10s,victims=", error)
+                   .has_value());
+  EXPECT_FALSE(parse_timeline_entry("block@0s:10s,frob=3", error).has_value());
+  EXPECT_NE(error.find("unknown key 'frob'"), std::string::npos);
+  // An empty '+'-separated token must not silently parse as node 0.
+  EXPECT_FALSE(parse_timeline_entry("block@0s:10s,nodes=1++3", error)
+                   .has_value());
+  // Non-finite probabilities would defeat range validation downstream.
+  EXPECT_FALSE(parse_timeline_entry("duplicate@0s:10s,p=nan", error)
+                   .has_value());
+  EXPECT_FALSE(parse_timeline_entry("duplicate@0s:10s,p=inf", error)
+                   .has_value());
+  // Selector counts are strict integers — no silent truncation.
+  EXPECT_FALSE(parse_timeline_entry("block@0s:10s,victims=2.9", error)
+                   .has_value());
+  EXPECT_FALSE(parse_timeline_entry("block@0s:10s,victims=1e1", error)
+                   .has_value());
+  // A duration that would overflow int64 microseconds is rejected, not
+  // wrapped.
+  EXPECT_FALSE(parse_timeline_entry("block@0s:9223372036856s", error)
+                   .has_value());
+  EXPECT_NE(error.find("bad time"), std::string::npos);
+}
+
+TEST(ParseTimelineEntry, KeysMustApplyToTheFaultKind) {
+  std::string error;
+  // Cycle-shape keys on a stress fault would silently configure nothing.
+  EXPECT_FALSE(parse_timeline_entry("stress@0s:5s,d=2s,i=50ms,victims=2",
+                                    error)
+                   .has_value());
+  EXPECT_NE(error.find("does not apply to fault kind 'stress'"),
+            std::string::npos);
+  EXPECT_FALSE(parse_timeline_entry("block@0s:5s,egress=0.5", error)
+                   .has_value());
+  EXPECT_FALSE(parse_timeline_entry("loss@0s:5s,p=0.5", error).has_value());
+  EXPECT_FALSE(parse_timeline_entry("duplicate@0s:5s,spread=10ms", error)
+                   .has_value());
+  // ...while the kinds that do read them still accept them.
+  EXPECT_TRUE(parse_timeline_entry("flapping@0s:30s,d=2s,i=50ms", error)
+                  .has_value());
+  EXPECT_TRUE(parse_timeline_entry("reorder@0s:5s,p=0.5,spread=10ms", error)
+                  .has_value());
+}
+
+TEST(TimelineValidation, AbsurdSpansAreCappedBeforeClockOverflow) {
+  Timeline tl;
+  tl.add(sec(400000000), sec(400000000), Fault::block(),
+         VictimSelector::uniform(1));
+  EXPECT_TRUE(mentions(tl.validate(8), "capped at 10 years"));
+}
+
+// ---------------------------------------------------------------------------
+// Drain planning (FaultInjector::plan_total_run)
+
+TEST(PlanTotalRun, MatchesLegacyPerKindDrains) {
+  const Duration rl = sec(40);
+  {
+    Timeline tl;  // threshold: exactly the observation window
+    tl.add(Duration{}, sec(16), Fault::block(), VictimSelector::uniform(2));
+    EXPECT_EQ(FaultInjector::plan_total_run(tl, rl), rl);
+  }
+  {
+    Timeline tl;  // interval: whole cycles + 1 s drain
+    tl.add(Duration{}, rl, Fault::interval_block(msec(8192), msec(64)),
+           VictimSelector::uniform(2));
+    EXPECT_EQ(FaultInjector::plan_total_run(tl, rl),
+              cycle_aligned_length(rl, msec(8192), msec(64)) + sec(1));
+  }
+  {
+    Timeline tl;  // stress: + 2 s
+    tl.add(Duration{}, rl, Fault::stressed(), VictimSelector::uniform(2));
+    EXPECT_EQ(FaultInjector::plan_total_run(tl, rl), rl + sec(2));
+  }
+  {
+    Timeline tl;  // partition healing inside the window: + 1 s
+    tl.add(Duration{}, sec(20), Fault::partition(),
+           VictimSelector::uniform(4));
+    EXPECT_EQ(FaultInjector::plan_total_run(tl, rl), rl + sec(1));
+  }
+  {
+    Timeline tl;  // flapping: + one blocked period + 1 s
+    tl.add(Duration{}, rl, Fault::flapping(sec(8), msec(50)),
+           VictimSelector::uniform(2));
+    EXPECT_EQ(FaultInjector::plan_total_run(tl, rl), rl + sec(8) + sec(1));
+  }
+  {
+    Timeline tl;  // churn: + one downtime + 2 s
+    tl.add(Duration{}, rl, Fault::churn(sec(12), sec(20)),
+           VictimSelector::uniform(2));
+    EXPECT_EQ(FaultInjector::plan_total_run(tl, rl), rl + sec(12) + sec(2));
+  }
+  EXPECT_EQ(FaultInjector::plan_total_run(Timeline{}, rl), rl);
+}
+
+TEST(PlanTotalRun, ComposedTimelineTakesTheMaxAcrossEntries) {
+  Timeline tl;
+  tl.add(Duration{}, sec(60), Fault::stressed(), VictimSelector::uniform(2));
+  tl.add(sec(40), sec(50), Fault::churn(sec(10), sec(20)),
+         VictimSelector::uniform(3));
+  // churn entry quiet point: 40 + 50 + 10 = 100; slack max(2s, 2s) = 2s.
+  EXPECT_EQ(FaultInjector::plan_total_run(tl, sec(60)), sec(102));
+}
+
+TEST(PlanTotalRun, LateEntryExtendsTheRunPastTheWindow) {
+  Timeline tl;
+  tl.add(sec(50), sec(30), Fault::link_loss(0.5, 0.0),
+         VictimSelector::uniform(1));
+  EXPECT_EQ(FaultInjector::plan_total_run(tl, sec(40)), sec(80));
+}
+
+}  // namespace
+}  // namespace lifeguard::fault

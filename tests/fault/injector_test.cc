@@ -1,0 +1,307 @@
+// FaultInjector end-to-end: golden-seed replay parity for the AnomalyPlan
+// shim, AnomalyPlan↔Timeline equivalence, composed timelines, and the
+// network-level fault kinds.
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "harness/scenario.h"
+#include "sim/simulator.h"
+
+namespace lifeguard::fault {
+namespace {
+
+using harness::AnomalyPlan;
+using harness::RunResult;
+using harness::Scenario;
+
+Scenario base_scenario(const char* name, int nodes, std::uint64_t seed) {
+  Scenario s;
+  s.name = name;
+  s.cluster_size = nodes;
+  s.quiesce = sec(10);
+  s.config = swim::Config::lifeguard();
+  s.seed = seed;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Golden-seed replay: these exact values were captured from the pre-Timeline
+// engine (the single-slot AnomalyPlan switch) at the seed of this PR. Every
+// AnomalyPlan now executes through to_timeline() + FaultInjector, and must
+// reproduce them bit-for-bit. If this test breaks, the shim has drifted —
+// fix the engine, do not re-capture the numbers.
+
+struct Golden {
+  const char* tag;
+  std::int64_t fp, fp_healthy, msgs, bytes;
+  std::vector<int> victims;
+  std::size_t first_detect, full_dissem;
+};
+
+void expect_golden(const Scenario& s, const Golden& g) {
+  const RunResult r = harness::run(s);
+  EXPECT_EQ(r.fp_events, g.fp) << g.tag;
+  EXPECT_EQ(r.fp_healthy_events, g.fp_healthy) << g.tag;
+  EXPECT_EQ(r.msgs_sent, g.msgs) << g.tag;
+  EXPECT_EQ(r.bytes_sent, g.bytes) << g.tag;
+  EXPECT_EQ(r.victims, g.victims) << g.tag;
+  EXPECT_EQ(r.first_detect.size(), g.first_detect) << g.tag;
+  EXPECT_EQ(r.full_dissem.size(), g.full_dissem) << g.tag;
+}
+
+TEST(GoldenSeedParity, ThresholdReplaysBitIdentically) {
+  Scenario s = base_scenario("g-threshold", 16, 7101);
+  s.anomaly = AnomalyPlan::threshold(3, sec(16));
+  s.run_length = sec(40);
+  expect_golden(s, {"threshold", 0, 0, 3148, 169245, {0, 15, 11}, 3, 3});
+}
+
+TEST(GoldenSeedParity, IntervalReplaysBitIdentically) {
+  Scenario s = base_scenario("g-interval", 16, 7102);
+  s.config = swim::Config::swim_baseline();
+  s.anomaly = AnomalyPlan::cycling(3, msec(8192), msec(64));
+  s.run_length = sec(40);
+  expect_golden(s, {"interval", 3, 0, 5592, 307705, {14, 7, 12}, 3, 3});
+}
+
+TEST(GoldenSeedParity, StressReplaysBitIdentically) {
+  Scenario s = base_scenario("g-stress", 16, 7103);
+  s.anomaly = AnomalyPlan::stressed(2);
+  s.run_length = sec(40);
+  expect_golden(s, {"stress", 0, 0, 4954, 233631, {0, 8}, 2, 2});
+}
+
+TEST(GoldenSeedParity, PartitionReplaysBitIdentically) {
+  Scenario s = base_scenario("g-partition", 12, 7104);
+  s.anomaly = AnomalyPlan::partition(4, sec(20));
+  s.run_length = sec(50);
+  expect_golden(s, {"partition", 11, 0, 2756, 132148, {11, 7, 4, 0}, 4, 4});
+}
+
+TEST(GoldenSeedParity, FlappingReplaysBitIdentically) {
+  Scenario s = base_scenario("g-flapping", 16, 7105);
+  s.anomaly = AnomalyPlan::flapping(3, sec(8), msec(50));
+  s.run_length = sec(40);
+  expect_golden(s, {"flapping", 1, 0, 7974, 362765, {9, 8, 0}, 3, 3});
+}
+
+TEST(GoldenSeedParity, ChurnReplaysBitIdentically) {
+  Scenario s = base_scenario("g-churn", 12, 7106);
+  s.anomaly = AnomalyPlan::churn(2, sec(12), sec(20));
+  s.run_length = sec(60);
+  expect_golden(s, {"churn", 0, 0, 4139, 147992, {4, 6}, 2, 2});
+}
+
+TEST(GoldenSeedParity, HealthyBaselineReplaysBitIdentically) {
+  Scenario s = base_scenario("g-none", 12, 7107);
+  s.anomaly = AnomalyPlan::none();
+  s.run_length = sec(30);
+  expect_golden(s, {"none", 0, 0, 1231, 50863, {}, 0, 0});
+}
+
+// ---------------------------------------------------------------------------
+// Shim equivalence: running the AnomalyPlan slot and running its
+// to_timeline() explicitly are the same program.
+
+TEST(ShimEquivalence, ExplicitTimelineMatchesAnomalyPlan) {
+  Scenario via_plan = base_scenario("shim", 14, 991);
+  via_plan.anomaly = AnomalyPlan::cycling(3, msec(4096), msec(128));
+  via_plan.run_length = sec(30);
+
+  Scenario via_timeline = via_plan;
+  via_timeline.timeline =
+      via_plan.anomaly.to_timeline(via_plan.run_length);
+  via_timeline.anomaly = AnomalyPlan::none();
+
+  const RunResult a = harness::run(via_plan);
+  const RunResult b = harness::run(via_timeline);
+  EXPECT_EQ(a.victims, b.victims);
+  EXPECT_EQ(a.fp_events, b.fp_events);
+  EXPECT_EQ(a.fp_healthy_events, b.fp_healthy_events);
+  EXPECT_EQ(a.first_detect, b.first_detect);
+  EXPECT_EQ(a.full_dissem, b.full_dissem);
+  EXPECT_EQ(a.msgs_sent, b.msgs_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+}
+
+// ---------------------------------------------------------------------------
+// Composition
+
+TEST(ComposedTimeline, AllEntriesExecuteAndVictimsUnion) {
+  Scenario s = base_scenario("composed", 12, 4242);
+  s.timeline.add(sec(0), sec(20), Fault::block(),
+                 VictimSelector::nodes({3, 5}));
+  s.timeline.add(sec(5), sec(10), Fault::partition(),
+                 VictimSelector::nodes({5, 7, 9}));
+  s.run_length = sec(40);
+  ASSERT_TRUE(s.validate().empty());
+  const RunResult r = harness::run(s);
+  // Union, first-occurrence order, deduplicated (5 appears once).
+  EXPECT_EQ(r.victims, (std::vector<int>{3, 5, 7, 9}));
+  EXPECT_GT(r.msgs_sent, 0);
+}
+
+TEST(ComposedTimeline, SequencedFaultsBothLeaveTraces) {
+  // A partition, then churn strictly after the heal: inexpressible as one
+  // AnomalyPlan. The partition must drop cross-island packets and the churn
+  // must produce real dead declarations later.
+  Scenario s = base_scenario("seq", 12, 515);
+  s.timeline.add(sec(0), sec(15), Fault::partition(),
+                 VictimSelector::uniform(4));
+  s.timeline.add(sec(25), sec(30), Fault::churn(sec(8), sec(15)),
+                 VictimSelector::uniform(2));
+  s.run_length = sec(60);
+  const RunResult r = harness::run(s);
+  // Independent uniform draws may overlap: the union holds 4..6 members.
+  EXPECT_GE(r.victims.size(), 4u);
+  EXPECT_LE(r.victims.size(), 6u);
+  EXPECT_GT(r.metrics.counter_value("net.dropped.partition"), 0);
+  EXPECT_FALSE(r.first_detect.empty());
+}
+
+TEST(ComposedTimeline, ReproducibleAcrossRunsDistinctAcrossSeeds) {
+  Scenario s = base_scenario("repro", 12, 31337);
+  s.timeline.add(sec(0), sec(30), Fault::stressed(),
+                 VictimSelector::uniform(2));
+  s.timeline.add(sec(10), sec(10), Fault::link_loss(0.4, 0.4),
+                 VictimSelector::uniform(3));
+  s.run_length = sec(30);
+  const RunResult a = harness::run(s);
+  const RunResult b = harness::run(s);
+  EXPECT_EQ(a.victims, b.victims);
+  EXPECT_EQ(a.msgs_sent, b.msgs_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.fp_events, b.fp_events);
+  s.seed = 31338;
+  const RunResult c = harness::run(s);
+  EXPECT_NE(a.msgs_sent, c.msgs_sent);
+}
+
+TEST(ComposedTimeline, OverlappingPartitionsShareAVictimAndUnwindInOrder) {
+  // Partition A holds {1,2} for [0s,20s); partition B holds {2,3} for
+  // [10s,30s). When A ends, node 2 must stay isolated under B's claim, and
+  // only re-merge when B ends.
+  sim::SimParams params;
+  params.seed = 321;
+  sim::Simulator sim(6, swim::Config::lifeguard(), params);
+  sim.start_all();
+  sim.run_for(sec(10));
+
+  Timeline tl;
+  tl.add(sec(0), sec(20), Fault::partition(), VictimSelector::nodes({1, 2}));
+  tl.add(sec(10), sec(20), Fault::partition(), VictimSelector::nodes({2, 3}));
+  const TimePoint t0 = sim.now();
+  FaultInjector().inject(sim, tl, t0, sec(40));
+
+  sim.run_until(t0 + sec(5));  // A active: 1 and 2 split off together
+  EXPECT_TRUE(sim.network().should_drop(2, 0, Channel::kReliable));
+  EXPECT_FALSE(sim.network().should_drop(2, 1, Channel::kReliable));
+
+  sim.run_until(t0 + sec(25));  // A ended, B active: 2 is with 3 now
+  EXPECT_TRUE(sim.network().should_drop(2, 0, Channel::kReliable));
+  EXPECT_FALSE(sim.network().should_drop(2, 3, Channel::kReliable));
+  EXPECT_FALSE(sim.network().should_drop(1, 0, Channel::kReliable));
+
+  sim.run_until(t0 + sec(35));  // B ended: everyone re-merged
+  EXPECT_FALSE(sim.network().should_drop(2, 0, Channel::kReliable));
+  EXPECT_FALSE(sim.network().should_drop(3, 0, Channel::kReliable));
+}
+
+// ---------------------------------------------------------------------------
+// Network-level kinds, end to end
+
+TEST(NetworkFaults, LinkLossDropsDatagramsAndUnwindsAtSpanEnd) {
+  Scenario s = base_scenario("loss", 10, 616);
+  s.timeline.add(sec(0), sec(20), Fault::link_loss(0.6, 0.6),
+                 VictimSelector::uniform(2));
+  s.run_length = sec(30);
+  const RunResult r = harness::run(s);
+  EXPECT_GT(r.metrics.counter_value("net.dropped.fault_loss"), 0);
+}
+
+TEST(NetworkFaults, DuplicationDeliversExtraCopies) {
+  Scenario s = base_scenario("dup", 10, 617);
+  s.timeline.add(sec(0), sec(20), Fault::duplicate(0.5),
+                 VictimSelector::uniform(3));
+  s.run_length = sec(30);
+  const RunResult r = harness::run(s);
+  EXPECT_GT(r.metrics.counter_value("net.duplicated"), 0);
+  // Duplicated protocol traffic must not manufacture false positives.
+  EXPECT_EQ(r.fp_events, 0);
+}
+
+TEST(NetworkFaults, ReorderingDelaysDatagrams) {
+  Scenario s = base_scenario("reorder", 10, 618);
+  s.timeline.add(sec(0), sec(20), Fault::reorder(0.5, msec(300)),
+                 VictimSelector::uniform(3));
+  s.run_length = sec(30);
+  const RunResult r = harness::run(s);
+  EXPECT_GT(r.metrics.counter_value("net.reordered"), 0);
+  EXPECT_EQ(r.fp_events, 0);
+}
+
+TEST(NetworkFaults, AddedLatencyAloneKeepsTheClusterHealthy) {
+  Scenario s = base_scenario("latency", 10, 619);
+  s.timeline.add(sec(0), sec(20), Fault::latency(msec(20), msec(10)),
+                 VictimSelector::fraction_of(0.5));
+  s.run_length = sec(30);
+  const RunResult r = harness::run(s);
+  // +20–30 ms on loopback-scale links is far below probe timeouts.
+  EXPECT_EQ(r.fp_events, 0);
+  EXPECT_GT(r.msgs_sent, 0);
+}
+
+TEST(NetworkFaults, OverlaysAreRemovedWhenTheSpanEnds) {
+  sim::SimParams params;
+  params.seed = 99;
+  sim::Simulator sim(6, swim::Config::lifeguard(), params);
+  sim.start_all();
+  sim.run_for(sec(10));
+
+  Timeline tl;
+  tl.add(sec(0), sec(5), Fault::link_loss(0.9, 0.0),
+         VictimSelector::nodes({2}));
+  const InjectionOutcome out =
+      FaultInjector().inject(sim, tl, sim.now(), sec(10));
+  EXPECT_EQ(out.victims, std::vector<int>{2});
+  sim.run_for(sec(2));
+  EXPECT_TRUE(sim.network().has_link_faults());
+  EXPECT_GT(sim.network().effective_fault(2).egress_loss, 0.8);
+  sim.run_for(sec(8));
+  EXPECT_FALSE(sim.network().has_link_faults());
+  EXPECT_DOUBLE_EQ(sim.network().effective_fault(2).egress_loss, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster facade
+
+TEST(ClusterInjection, SimBackendInjectsUdpBackendRefuses) {
+  auto cluster = lifeguard::ClusterBuilder()
+                     .size(8)
+                     .config(swim::Config::lifeguard())
+                     .seed(5)
+                     .build();
+  cluster->start();
+  cluster->run_for(sec(10));
+  Timeline tl;
+  tl.add(sec(0), sec(5), Fault::block(), VictimSelector::uniform(2));
+  const InjectionOutcome out = FaultInjector().inject(*cluster, tl, sec(10));
+  EXPECT_EQ(out.victims.size(), 2u);
+  cluster->run_for(out.total_run);
+
+  auto udp = lifeguard::ClusterBuilder()
+                 .size(2)
+                 .backend(lifeguard::Cluster::Backend::kUdp)
+                 .seed(5)
+                 .build();
+  EXPECT_THROW(FaultInjector().inject(*udp, tl, sec(10)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lifeguard::fault

@@ -96,6 +96,34 @@ TEST(ScenarioValidation, StressRangesMustBeOrdered) {
   EXPECT_TRUE(mentions(s.validate(), "block_min <= block_max"));
 }
 
+TEST(ScenarioValidation, AnomalyAndTimelineAreMutuallyExclusive) {
+  Scenario s = tiny_valid();  // carries a threshold AnomalyPlan
+  s.timeline.add(sec(0), sec(5), fault::Fault::block(),
+                 fault::VictimSelector::uniform(1));
+  EXPECT_TRUE(mentions(s.validate(), "sets both anomaly"));
+  s.anomaly = AnomalyPlan::none();
+  EXPECT_TRUE(s.validate().empty());
+}
+
+TEST(ScenarioValidation, TimelineDefectsAreSurfaced) {
+  Scenario s = tiny_valid();
+  s.anomaly = AnomalyPlan::none();
+  s.timeline.add(sec(0), sec(5), fault::Fault::partition(),
+                 fault::VictimSelector::uniform(8));  // whole 8-node cluster
+  EXPECT_TRUE(mentions(s.validate(), "timeline[0]"));
+  EXPECT_TRUE(mentions(s.validate(), "both sides"));
+}
+
+TEST(ScenarioEffectiveTimeline, ShimProducesOneEntryPerPlan) {
+  Scenario s = tiny_valid();
+  const fault::Timeline tl = s.effective_timeline();
+  ASSERT_EQ(tl.size(), 1u);
+  EXPECT_EQ(tl.entries()[0].fault.kind, fault::FaultKind::kBlock);
+  EXPECT_EQ(tl.entries()[0].duration, sec(16));
+  s.anomaly = AnomalyPlan::none();
+  EXPECT_TRUE(s.effective_timeline().empty());
+}
+
 TEST(ScenarioValidation, NetworkLossMustBeProbability) {
   Scenario s = tiny_valid();
   s.network.udp_loss = 1.5;
@@ -127,9 +155,15 @@ TEST(ScenarioRegistry, BuiltinCatalogCoversPaperAndNewKinds) {
        {"fig1-cpu-exhaustion", "fig2-total-false-positives",
         "fig3-fp-at-healthy", "table4-false-positives", "table5-latency",
         "table6-message-load", "table7-alpha-beta", "partition-split-heal",
-        "flapping-overload", "churn-rolling-restarts"}) {
+        "flapping-overload", "churn-rolling-restarts",
+        "partition-under-stress", "lossy-flapping", "churn-after-heal",
+        "packet-chaos"}) {
     EXPECT_NE(reg.find(name), nullptr) << name;
   }
+  // The composed catalog entries carry multi-entry fault timelines.
+  EXPECT_GE(reg.find("partition-under-stress")->timeline.size(), 2u);
+  EXPECT_GE(reg.find("churn-after-heal")->timeline.size(), 2u);
+  EXPECT_GE(reg.find("packet-chaos")->timeline.size(), 3u);
   std::set<AnomalyKind> kinds;
   for (const auto& s : reg.all()) {
     EXPECT_TRUE(s.validate().empty()) << s.name;
@@ -183,9 +217,16 @@ TEST(ScenarioEngine, EveryBuiltinScenarioRunsAtTinyScale) {
     const RunResult r = run(s);
     EXPECT_EQ(r.scenario_name, s.name);
     EXPECT_EQ(r.cluster_size, s.cluster_size) << s.name;
-    EXPECT_EQ(r.victims.size(),
-              static_cast<std::size_t>(s.anomaly.victims))
-        << s.name;
+    if (s.timeline.empty()) {
+      EXPECT_EQ(r.victims.size(),
+                static_cast<std::size_t>(s.anomaly.victims))
+          << s.name;
+    } else {
+      // Composed scenarios: victims are the union across timeline entries.
+      EXPECT_FALSE(r.victims.empty()) << s.name;
+      EXPECT_LE(r.victims.size(), static_cast<std::size_t>(s.cluster_size))
+          << s.name;
+    }
     EXPECT_GT(r.msgs_sent, 0) << s.name;
     EXPECT_GT(r.bytes_sent, 0) << s.name;
   }
