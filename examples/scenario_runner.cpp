@@ -33,6 +33,26 @@
 //       --fault replaces the --anomaly/--victims/--duration/--interval
 //       single-slot flags (mixing them is rejected).
 //
+//   ./examples/scenario_runner --check [flags]
+//       Evaluate the built-in protocol invariant suite (src/check) live
+//       against the run: incarnation monotonicity, refutation rules,
+//       suspicion-timeout bounds, convergence, gossip retransmit bounds,
+//       crash silence and partition containment. Any violation prints the
+//       verdicts, writes a replayable trace (to --trace FILE or
+//       <scenario>-violation.trace.jsonl) and exits nonzero.
+//       --suspicion-cap MS overrides the suspicion-bounds upper bound —
+//       setting it below the protocol's floor plants a violation, the
+//       quickest way to see the verdict/trace/shrink tooling end to end.
+//
+//   ./examples/scenario_runner --trace FILE [flags]
+//       Record the run's merged event stream (membership transitions +
+//       simulator fault events) to FILE as a compact JSONL trace.
+//
+//   ./examples/scenario_runner --replay FILE
+//       Rebuild the scenario a trace describes, re-execute it, and verify
+//       the replayed stream matches the recording bit for bit; exits
+//       nonzero on divergence.
+//
 //   ./examples/scenario_runner --campaign [--reps N] [--jobs N]
 //                              [--json FILE] [--csv FILE] [flags]
 //       Run the composed scenario as a Campaign: N repetitions with
@@ -54,6 +74,9 @@
 #include <optional>
 #include <string>
 
+#include "check/replay.h"
+#include "check/spec.h"
+#include "check/trace.h"
 #include "fault/fault.h"
 #include "harness/campaign.h"
 #include "harness/report.h"
@@ -223,6 +246,53 @@ void report(const RunResult& r) {
   t.print();
 }
 
+void report_checks(const check::RunReport& cr) {
+  std::printf("\ninvariants: %zu checked over %lld events — %s\n",
+              cr.invariants.size(),
+              static_cast<long long>(cr.events_seen),
+              cr.passed() ? "all hold"
+                          : (std::to_string(cr.total_violations) +
+                             " violation(s)")
+                                .c_str());
+  for (const check::Violation& v : cr.violations) {
+    std::printf("  %s\n", v.describe().c_str());
+  }
+  if (static_cast<std::int64_t>(cr.violations.size()) < cr.total_violations) {
+    std::printf("  ... and %lld more\n",
+                static_cast<long long>(cr.total_violations -
+                                       static_cast<std::int64_t>(
+                                           cr.violations.size())));
+  }
+}
+
+int run_replay(const std::string& path) {
+  std::string error;
+  const auto loaded = check::load_trace_file(path, error);
+  if (!loaded) {
+    std::fprintf(stderr, "scenario_runner: --replay: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("replaying %s: scenario '%s', seed %llu, %zu recorded "
+              "events\n",
+              path.c_str(), loaded->header.scenario.c_str(),
+              static_cast<unsigned long long>(loaded->header.seed),
+              loaded->events.size());
+  const auto scenario = check::scenario_from_header(loaded->header, error);
+  if (!scenario) {
+    std::fprintf(stderr, "scenario_runner: --replay: %s\n", error.c_str());
+    return 2;
+  }
+  const check::ReplayResult r = check::replay(*scenario, *loaded);
+  if (r.result.checks.checked) report_checks(r.result.checks);
+  if (!r.matches) {
+    std::fprintf(stderr, "replay DIVERGED: %s\n", r.divergence.c_str());
+    return 4;
+  }
+  std::printf("replay matches the recording: %zu events, bit for bit\n",
+              r.trace.events.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,9 +331,11 @@ int main(int argc, char** argv) {
   std::optional<std::string> anomaly_name, config_name;
   std::vector<fault::TimelineEntry> fault_entries;
   bool campaign_mode = false;
+  bool check_mode = false;
   int reps = 5;
   int jobs = 0;  // 0 = one worker per hardware thread
-  std::optional<std::string> json_path, csv_path;
+  std::optional<std::string> json_path, csv_path, trace_path, replay_path;
+  std::optional<Duration> suspicion_cap;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -308,6 +380,15 @@ int main(int argc, char** argv) {
       seed = parse_u64(arg, next());
     } else if (arg == "--campaign") {
       campaign_mode = true;
+    } else if (arg == "--check") {
+      check_mode = true;
+    } else if (arg == "--suspicion-cap") {
+      check_mode = true;
+      suspicion_cap = msec(parse_int(arg, next(), 1, 86400000));
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
     } else if (arg == "--reps") {
       reps = static_cast<int>(parse_int(arg, next(), 1, 100000));
     } else if (arg == "--jobs") {
@@ -319,6 +400,14 @@ int main(int argc, char** argv) {
     } else {
       usage_error("unknown option " + arg);
     }
+  }
+
+  if (replay_path) {
+    if (argc != 3) {
+      usage_error("--replay FILE re-executes a recorded trace and takes no "
+                  "other flags — the trace header is the scenario");
+    }
+    return run_replay(*replay_path);
   }
 
   if (nodes) s.cluster_size = *nodes;
@@ -371,8 +460,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.seed));
   }
 
+  if (check_mode) s.checks = check::Spec::all();
+  if (suspicion_cap) s.checks.suspicion_cap = *suspicion_cap;
+
   try {
     if (campaign_mode) {
+      if (trace_path) {
+        usage_error("--trace records one run and cannot be combined with "
+                    "--campaign (per-trial verdicts land in --json/--csv)");
+      }
       Campaign camp;
       camp.name = s.name;
       camp.base = s;
@@ -399,15 +495,55 @@ int main(int argc, char** argv) {
 
       std::printf("campaign: %d repetitions, jobs=%s\n\n", reps,
                   jobs == 0 ? "auto" : std::to_string(jobs).c_str());
-      report_campaign(run(camp, reporters));
+      const CampaignResult result = run(camp, reporters);
+      report_campaign(result);
       if (json_path) std::printf("\nJSONL artifact: %s\n", json_path->c_str());
       if (csv_path) std::printf("CSV artifact: %s\n", csv_path->c_str());
+      int violating = 0;
+      for (const PointStats& ps : result.points) {
+        violating += ps.violating_trials;
+      }
+      if (violating > 0) {
+        std::fprintf(stderr,
+                     "\n%d trial(s) violated protocol invariants — see the "
+                     "per-trial artifacts\n",
+                     violating);
+        return 3;
+      }
     } else {
       if (json_path || csv_path) {
         usage_error("--json/--csv require --campaign (artifacts describe "
                     "multi-trial runs)");
       }
-      report(run(s));
+      // Record whenever a trace was requested — and always under --check,
+      // so a violation ships with its replayable reproducer.
+      std::optional<check::TraceRecorder> recorder;
+      std::vector<check::TraceSink*> sinks;
+      if (trace_path || check_mode) {
+        recorder.emplace(s);
+        sinks.push_back(&*recorder);
+      }
+      const RunResult r = run(s, sinks);
+      report(r);
+      if (r.checks.checked) report_checks(r.checks);
+
+      std::string save_to;
+      if (trace_path) {
+        save_to = *trace_path;
+      } else if (!r.checks.passed() && r.checks.checked) {
+        save_to = s.name + "-violation.trace.jsonl";
+      }
+      if (!save_to.empty()) {
+        std::string error;
+        if (!check::save_trace_file(recorder->trace(), save_to, error)) {
+          std::fprintf(stderr, "scenario_runner: %s\n", error.c_str());
+          return 2;
+        }
+        std::printf("\ntrace: %s (%zu events; verify with --replay %s)\n",
+                    save_to.c_str(), recorder->trace().events.size(),
+                    save_to.c_str());
+      }
+      if (r.checks.checked && !r.checks.passed()) return 3;
     }
   } catch (const ScenarioError& e) {
     std::fprintf(stderr, "%s\n", e.what());

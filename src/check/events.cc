@@ -1,0 +1,95 @@
+#include "check/events.h"
+
+#include <sstream>
+
+namespace lifeguard::check {
+
+const char* trace_event_kind_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kJoin:
+      return "join";
+    case TraceEventKind::kAlive:
+      return "alive";
+    case TraceEventKind::kSuspect:
+      return "suspect";
+    case TraceEventKind::kFailed:
+      return "failed";
+    case TraceEventKind::kLeft:
+      return "left";
+    case TraceEventKind::kCrash:
+      return "crash";
+    case TraceEventKind::kRestart:
+      return "restart";
+    case TraceEventKind::kBlock:
+      return "block";
+    case TraceEventKind::kUnblock:
+      return "unblock";
+    case TraceEventKind::kFaultStart:
+      return "fault-start";
+    case TraceEventKind::kFaultEnd:
+      return "fault-end";
+    case TraceEventKind::kDatagram:
+      return "datagram";
+  }
+  return "?";
+}
+
+std::optional<TraceEventKind> trace_event_kind_from_name(std::string_view n) {
+  for (TraceEventKind k :
+       {TraceEventKind::kJoin, TraceEventKind::kAlive, TraceEventKind::kSuspect,
+        TraceEventKind::kFailed, TraceEventKind::kLeft, TraceEventKind::kCrash,
+        TraceEventKind::kRestart, TraceEventKind::kBlock,
+        TraceEventKind::kUnblock, TraceEventKind::kFaultStart,
+        TraceEventKind::kFaultEnd, TraceEventKind::kDatagram}) {
+    if (n == trace_event_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+bool is_member_event(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kJoin:
+    case TraceEventKind::kAlive:
+    case TraceEventKind::kSuspect:
+    case TraceEventKind::kFailed:
+    case TraceEventKind::kLeft:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int node_index_of(std::string_view member_name) {
+  constexpr std::string_view prefix = "node-";
+  if (member_name.size() <= prefix.size() ||
+      member_name.substr(0, prefix.size()) != prefix) {
+    return -1;
+  }
+  int value = 0;
+  for (char c : member_name.substr(prefix.size())) {
+    if (c < '0' || c > '9') return -1;
+    if (value > 1000000) return -1;  // absurd index: not a sim node name
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+std::string TraceEvent::describe() const {
+  std::ostringstream os;
+  os << at.seconds() << "s " << trace_event_kind_name(kind);
+  if (is_member_event(kind)) {
+    os << " node-" << node << " about node-" << peer << " (inc " << incarnation
+       << ", origin node-" << origin << (originated ? ", local" : ", gossip")
+       << ")";
+  } else if (kind == TraceEventKind::kDatagram) {
+    os << " node-" << node << " -> node-" << peer;
+  } else if (kind == TraceEventKind::kFaultStart ||
+             kind == TraceEventKind::kFaultEnd) {
+    os << " entry " << peer;
+  } else {
+    os << " node-" << node;
+  }
+  return os.str();
+}
+
+}  // namespace lifeguard::check

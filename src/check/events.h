@@ -1,0 +1,84 @@
+// The merged observation stream the checking layer is built on.
+//
+// A TraceEvent is one record of the combined simulator-event + membership
+// EventBus stream: membership transitions (join/alive/suspect/failed/left,
+// from swim::EventBus), process control (crash/restart/block/unblock, from
+// sim::Simulator's tap), fault-timeline entry spans, and — optionally —
+// routed datagrams. Node identities are indices (the simulator's "node-N"
+// scheme), which keeps records compact, totally comparable, and bit-stable
+// across runs: two deterministic runs of the same (scenario, seed) produce
+// element-wise equal streams, which is what record–replay verification pins.
+//
+// TraceSink is the observer seam: check::Checker evaluates invariants over
+// the stream live, check::TraceRecorder retains it for JSONL persistence,
+// and check::EventTap (tap.h) wires a simulator to any number of sinks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace lifeguard::check {
+
+enum class TraceEventKind : std::uint8_t {
+  // -- membership transitions (swim::EventBus) --
+  kJoin = 0,
+  kAlive,
+  kSuspect,
+  kFailed,
+  kLeft,
+  // -- simulator events (sim::Simulator taps) --
+  kCrash,
+  kRestart,
+  kBlock,
+  kUnblock,
+  kFaultStart,
+  kFaultEnd,
+  kDatagram,
+};
+
+const char* trace_event_kind_name(TraceEventKind k);
+std::optional<TraceEventKind> trace_event_kind_from_name(std::string_view n);
+/// True for the kinds that originate on the membership EventBus.
+bool is_member_event(TraceEventKind k);
+
+struct TraceEvent {
+  TimePoint at{};
+  TraceEventKind kind = TraceEventKind::kJoin;
+  /// Member events: the reporter (where the transition happened). Control
+  /// events: the afflicted node. kDatagram: the sender.
+  int node = -1;
+  /// Member events: the subject member. kDatagram: the receiver.
+  /// kFaultStart/kFaultEnd: the fault::Timeline entry index.
+  int peer = -1;
+  /// Member events: the transition's originator node (-1 when unknown).
+  int origin = -1;
+  std::uint64_t incarnation = 0;
+  /// Member events: true when the reporter itself originated the transition.
+  bool originated = false;
+
+  bool operator==(const TraceEvent&) const = default;
+
+  /// "12.304s suspect node-3 about node-7 (inc 2, origin node-3, local)" —
+  /// for violation messages and divergence reports.
+  std::string describe() const;
+};
+
+/// "node-12" -> 12; -1 for anything else. The simulator names every member
+/// this way, so the mapping is total within a simulated cluster.
+int node_index_of(std::string_view member_name);
+
+/// Observer of the merged stream. Sinks that return false from
+/// wants_datagrams() are not shown kDatagram records (they fire per routed
+/// datagram — high volume, and noise in a persisted trace).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_trace_event(const TraceEvent& e) = 0;
+  virtual bool wants_datagrams() const { return false; }
+};
+
+}  // namespace lifeguard::check

@@ -1,0 +1,597 @@
+#include "check/invariant.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "proto/broadcast.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "swim/member.h"
+#include "swim/membership.h"
+#include "swim/node.h"
+#include "swim/suspicion.h"
+
+namespace lifeguard::check {
+
+void Invariant::violate(const CheckContext& ctx, TimePoint at, int node,
+                        int member, std::string message) const {
+  ctx.checker->add_violation(name_, at, node, member, std::move(message));
+}
+
+namespace {
+
+std::string node_name(int index) {
+  return index < 0 ? std::string("?") : "node-" + std::to_string(index);
+}
+
+std::string fmt_secs(Duration d) {
+  std::ostringstream os;
+  os << d.seconds() << " s";
+  return os.str();
+}
+
+/// Per-(reporter, member) state table. Reporter restarts wipe the whole
+/// reporter row: a fresh process has a fresh view.
+template <typename State>
+class PairTable {
+ public:
+  explicit PairTable(int cluster_size) : n_(cluster_size) {}
+
+  State* find(int reporter, int member) {
+    auto it = map_.find(key(reporter, member));
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  State& get(int reporter, int member) { return map_[key(reporter, member)]; }
+  void erase(int reporter, int member) { map_.erase(key(reporter, member)); }
+  void erase_reporter(int reporter) {
+    const std::int64_t lo = key(reporter, 0);
+    const std::int64_t hi = key(reporter + 1, 0);
+    std::erase_if(map_, [lo, hi](const auto& kv) {
+      return kv.first >= lo && kv.first < hi;
+    });
+  }
+
+ private:
+  std::int64_t key(int reporter, int member) const {
+    return static_cast<std::int64_t>(reporter) * n_ + member;
+  }
+  int n_;
+  std::unordered_map<std::int64_t, State> map_;
+};
+
+// ---------------------------------------------------------------------------
+// incarnation-monotonic
+
+/// A reporter's record of a member carries a non-decreasing incarnation —
+/// SWIM's precedence rules drop every stale message — except immediately
+/// after the reporter saw the member dead (a rejoining process may restart
+/// the sequence).
+class IncarnationMonotonic final : public Invariant {
+ public:
+  explicit IncarnationMonotonic(int cluster_size)
+      : Invariant("incarnation-monotonic"), seen_(cluster_size) {}
+
+  void on_event(const TraceEvent& e, const CheckContext& ctx) override {
+    if (e.kind == TraceEventKind::kRestart) {
+      seen_.erase_reporter(e.node);
+      return;
+    }
+    if (!is_member_event(e.kind) || e.node < 0 || e.peer < 0) return;
+    if (Last* last = seen_.find(e.node, e.peer)) {
+      const bool reset_ok = last->kind == TraceEventKind::kFailed ||
+                            last->kind == TraceEventKind::kLeft;
+      if (!reset_ok && e.incarnation < last->incarnation) {
+        violate(ctx, e.at, e.node, e.peer,
+                node_name(e.node) + " applied " +
+                    trace_event_kind_name(e.kind) + " about " +
+                    node_name(e.peer) + " with incarnation " +
+                    std::to_string(e.incarnation) +
+                    " after already holding incarnation " +
+                    std::to_string(last->incarnation) +
+                    " — stale updates must be dropped");
+      }
+    }
+    seen_.get(e.node, e.peer) = {e.incarnation, e.kind};
+  }
+
+ private:
+  struct Last {
+    std::uint64_t incarnation = 0;
+    TraceEventKind kind = TraceEventKind::kJoin;
+  };
+  PairTable<Last> seen_;
+};
+
+// ---------------------------------------------------------------------------
+// refute-before-resurrect
+
+/// After a reporter declares a member dead, only a strictly
+/// higher-incarnation alive (a refutation / new process speaking for
+/// itself) — or an actual restart of that member — may bring it back.
+class RefuteBeforeResurrect final : public Invariant {
+ public:
+  explicit RefuteBeforeResurrect(int cluster_size)
+      : Invariant("refute-before-resurrect"), dead_(cluster_size) {}
+
+  void on_event(const TraceEvent& e, const CheckContext& ctx) override {
+    if (e.kind == TraceEventKind::kRestart) {
+      dead_.erase_reporter(e.node);
+      return;
+    }
+    if (!is_member_event(e.kind) || e.node < 0 || e.peer < 0) return;
+    switch (e.kind) {
+      case TraceEventKind::kFailed:
+      case TraceEventKind::kLeft:
+        dead_.get(e.node, e.peer) = {e.incarnation, e.at};
+        break;
+      case TraceEventKind::kAlive:
+      case TraceEventKind::kJoin: {
+        if (const Death* d = dead_.find(e.node, e.peer)) {
+          const TimePoint restarted =
+              (*ctx.last_restart)[static_cast<std::size_t>(e.peer)];
+          const bool restarted_since =
+              restarted.us >= 0 && restarted >= d->at;
+          if (!restarted_since && e.incarnation <= d->incarnation) {
+            violate(ctx, e.at, e.node, e.peer,
+                    node_name(e.node) + " resurrected " + node_name(e.peer) +
+                        " at incarnation " + std::to_string(e.incarnation) +
+                        " without refutation — it was declared dead at "
+                        "incarnation " +
+                        std::to_string(d->incarnation) +
+                        " and never restarted");
+          }
+          dead_.erase(e.node, e.peer);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  struct Death {
+    std::uint64_t incarnation = 0;
+    TimePoint at{};
+  };
+  PairTable<Death> dead_;
+};
+
+// ---------------------------------------------------------------------------
+// suspicion-bounds
+
+/// A locally originated dead declaration ends a suspicion whose lifetime
+/// must sit inside the LHA-Suspicion window: never below the alpha floor
+/// (alpha * probe_interval — confirmations can drive the timeout to Min but
+/// not through it) and never above the beta-scaled Max for the largest
+/// possible cluster. Spec::suspicion_cap overrides the upper bound (the
+/// planted-violation knob).
+class SuspicionBounds final : public Invariant {
+ public:
+  explicit SuspicionBounds(int cluster_size)
+      : Invariant("suspicion-bounds"), open_(cluster_size) {}
+
+  void on_event(const TraceEvent& e, const CheckContext& ctx) override {
+    if (e.kind == TraceEventKind::kRestart) {
+      open_.erase_reporter(e.node);
+      return;
+    }
+    if (!is_member_event(e.kind) || e.node < 0 || e.peer < 0) return;
+    if (e.kind == TraceEventKind::kSuspect) {
+      open_.get(e.node, e.peer) = {e.at};
+      return;
+    }
+    if (e.kind == TraceEventKind::kFailed && e.originated &&
+        e.node != e.peer) {
+      if (const Open* o = open_.find(e.node, e.peer)) {
+        check_lifetime(e, e.at - o->since, ctx);
+      }
+    }
+    open_.erase(e.node, e.peer);  // refuted, confirmed dead, or left
+  }
+
+ private:
+  struct Open {
+    TimePoint since{};
+  };
+
+  void check_lifetime(const TraceEvent& e, Duration lifetime,
+                      const CheckContext& ctx) const {
+    const swim::Config& cfg = *ctx.config;
+    const double slack = ctx.spec->timeout_slack;
+    // Min is clamped below by alpha * probe_interval for any cluster size;
+    // Max grows with log10(n), so the cluster_size evaluation bounds every
+    // mid-run membership count.
+    const Duration floor = cfg.probe_interval.scaled(cfg.suspicion_alpha);
+    Duration cap = swim::suspicion_min(cfg.suspicion_alpha, ctx.cluster_size,
+                                       cfg.probe_interval);
+    if (cfg.lha_suspicion) cap = cap.scaled(cfg.suspicion_beta);
+    if (ctx.spec->suspicion_cap > Duration{0}) cap = ctx.spec->suspicion_cap;
+    const Duration lo = floor.scaled(1.0 - slack);
+    const Duration hi = cap.scaled(1.0 + slack) + msec(1);
+    if (lifetime < lo || lifetime > hi) {
+      violate(ctx, e.at, e.node, e.peer,
+              node_name(e.node) + "'s suspicion of " + node_name(e.peer) +
+                  " timed out after " + fmt_secs(lifetime) +
+                  ", outside the allowed [" + fmt_secs(lo) + ", " +
+                  fmt_secs(hi) + "] window");
+    }
+  }
+
+  PairTable<Open> open_;
+};
+
+// ---------------------------------------------------------------------------
+// legal-transitions
+
+/// Per-reporter, per-member events follow the SWIM state machine: members
+/// are learned via join; suspect only from an active state; repeated
+/// same-state transitions are never re-announced; only dead members rejoin.
+class LegalTransitions final : public Invariant {
+ public:
+  explicit LegalTransitions(int cluster_size)
+      : Invariant("legal-transitions"), last_(cluster_size) {}
+
+  void on_event(const TraceEvent& e, const CheckContext& ctx) override {
+    if (e.kind == TraceEventKind::kRestart) {
+      last_.erase_reporter(e.node);
+      return;
+    }
+    if (!is_member_event(e.kind) || e.node < 0 || e.peer < 0 ||
+        e.node == e.peer) {
+      return;
+    }
+    const Prev* prev = last_.find(e.node, e.peer);
+    if (!allowed(prev ? std::optional(prev->kind) : std::nullopt, e.kind)) {
+      violate(ctx, e.at, e.node, e.peer,
+              node_name(e.node) + " reported " +
+                  trace_event_kind_name(e.kind) + " about " +
+                  node_name(e.peer) +
+                  (prev ? std::string(" after ") +
+                              trace_event_kind_name(prev->kind)
+                        : std::string(" before any join")) +
+                  " — not a legal SWIM transition");
+    }
+    last_.get(e.node, e.peer) = {e.kind};
+  }
+
+ private:
+  struct Prev {
+    TraceEventKind kind = TraceEventKind::kJoin;
+  };
+
+  static bool allowed(std::optional<TraceEventKind> prev, TraceEventKind next) {
+    if (!prev) return next == TraceEventKind::kJoin;
+    switch (*prev) {
+      case TraceEventKind::kJoin:
+      case TraceEventKind::kAlive:
+        return next == TraceEventKind::kSuspect ||
+               next == TraceEventKind::kFailed ||
+               next == TraceEventKind::kLeft;
+      case TraceEventKind::kSuspect:
+        return next == TraceEventKind::kAlive ||
+               next == TraceEventKind::kFailed ||
+               next == TraceEventKind::kLeft;
+      case TraceEventKind::kFailed:
+      case TraceEventKind::kLeft:
+        return next == TraceEventKind::kJoin ||
+               next == TraceEventKind::kAlive;
+      default:
+        return false;
+    }
+  }
+
+  PairTable<Prev> last_;
+};
+
+// ---------------------------------------------------------------------------
+// convergence
+
+/// Liveness: when the run's tail after the last disturbance (fault span,
+/// block, crash, restart) is at least Spec::convergence_settle long, every
+/// running node's active view must equal the set of running nodes. Runs
+/// whose faults extend to the end pass vacuously — the protocol was never
+/// given time to settle.
+class Convergence final : public Invariant {
+ public:
+  Convergence() : Invariant("convergence") {}
+
+  void on_event(const TraceEvent&, const CheckContext&) override {}
+
+  void at_end(const CheckContext& ctx) override {
+    if (ctx.sim == nullptr) return;
+    const TimePoint since = ctx.disturbed ? ctx.last_disturbance : TimePoint{};
+    if (ctx.run_end - since < ctx.spec->convergence_settle) return;
+
+    const sim::Simulator& sim = *ctx.sim;
+    std::set<std::string> expected;
+    for (int i = 0; i < sim.size(); ++i) {
+      if (!sim.is_crashed(i) && sim.node(i).running()) {
+        expected.insert("node-" + std::to_string(i));
+      }
+    }
+    for (int i = 0; i < sim.size(); ++i) {
+      if (sim.is_crashed(i) || !sim.node(i).running()) continue;
+      std::set<std::string> view;
+      for (const swim::Member* m : sim.node(i).members().all()) {
+        if (swim::is_active(m->state)) view.insert(m->name);
+      }
+      if (view == expected) continue;
+      std::string diff;
+      for (const auto& name : expected) {
+        if (!view.contains(name)) diff += " missing:" + name;
+      }
+      for (const auto& name : view) {
+        if (!expected.contains(name)) diff += " extra:" + name;
+      }
+      violate(ctx, ctx.run_end, i, -1,
+              node_name(i) + " failed to converge " +
+                  fmt_secs(ctx.run_end - since) +
+                  " after the last disturbance: its active view has " +
+                  std::to_string(view.size()) + " members, expected " +
+                  std::to_string(expected.size()) + " —" + diff);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// retransmit-bound
+
+/// SWIM's dissemination component piggybacks each update at most
+/// lambda * ceil(log10(n+1)) times; a queue that exceeds the limit for the
+/// full cluster size is over-gossiping.
+class RetransmitBound final : public Invariant {
+ public:
+  RetransmitBound() : Invariant("retransmit-bound") {}
+
+  void on_event(const TraceEvent&, const CheckContext&) override {}
+
+  void at_end(const CheckContext& ctx) override {
+    if (ctx.sim == nullptr) return;
+    const int limit = proto::retransmit_limit(ctx.config->retransmit_mult,
+                                              ctx.cluster_size);
+    for (int i = 0; i < ctx.sim->size(); ++i) {
+      const int seen = ctx.sim->node(i).broadcasts().max_transmits();
+      if (seen > limit) {
+        violate(ctx, ctx.run_end, i, -1,
+                node_name(i) + " piggybacked one update " +
+                    std::to_string(seen) + " times; the lambda*log bound "
+                    "for a " +
+                    std::to_string(ctx.cluster_size) + "-member cluster is " +
+                    std::to_string(limit));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// no-send-from-crashed
+
+/// A crashed process is silent: the simulator must route no datagram whose
+/// sender is currently crashed.
+class NoSendFromCrashed final : public Invariant {
+ public:
+  NoSendFromCrashed() : Invariant("no-send-from-crashed") {}
+  bool wants_datagrams() const override { return true; }
+
+  void on_event(const TraceEvent& e, const CheckContext& ctx) override {
+    if (e.kind != TraceEventKind::kDatagram || e.node < 0) return;
+    if ((*ctx.crashed)[static_cast<std::size_t>(e.node)]) {
+      violate(ctx, e.at, e.node, e.peer,
+              node_name(e.node) + " routed a datagram to " +
+                  node_name(e.peer) + " while crashed");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// partition-containment
+
+/// While a partition is active, no datagram may be routed between nodes in
+/// different partition groups — island views stay contained.
+class PartitionContainment final : public Invariant {
+ public:
+  PartitionContainment() : Invariant("partition-containment") {}
+  bool wants_datagrams() const override { return true; }
+
+  void on_event(const TraceEvent& e, const CheckContext& ctx) override {
+    if (e.kind != TraceEventKind::kDatagram || ctx.sim == nullptr ||
+        e.node < 0 || e.peer < 0) {
+      return;
+    }
+    const sim::Network& net = ctx.sim->network();
+    const int from_group = net.partition_group(e.node);
+    const int to_group = net.partition_group(e.peer);
+    if (from_group != to_group) {
+      violate(ctx, e.at, e.node, e.peer,
+              "datagram crossed an active partition: " + node_name(e.node) +
+                  " (group " + std::to_string(from_group) + ") -> " +
+                  node_name(e.peer) + " (group " + std::to_string(to_group) +
+                  ")");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// registry
+
+struct Registered {
+  const char* name;
+  std::unique_ptr<Invariant> (*make)(int cluster_size);
+};
+
+template <typename T>
+std::unique_ptr<Invariant> make_with_size(int cluster_size) {
+  return std::make_unique<T>(cluster_size);
+}
+
+template <typename T>
+std::unique_ptr<Invariant> make_plain(int) {
+  return std::make_unique<T>();
+}
+
+constexpr Registered kRegistry[] = {
+    {"incarnation-monotonic", &make_with_size<IncarnationMonotonic>},
+    {"refute-before-resurrect", &make_with_size<RefuteBeforeResurrect>},
+    {"suspicion-bounds", &make_with_size<SuspicionBounds>},
+    {"legal-transitions", &make_with_size<LegalTransitions>},
+    {"convergence", &make_plain<Convergence>},
+    {"retransmit-bound", &make_plain<RetransmitBound>},
+    {"no-send-from-crashed", &make_plain<NoSendFromCrashed>},
+    {"partition-containment", &make_plain<PartitionContainment>},
+};
+
+std::vector<std::unique_ptr<Invariant>> instantiate(const Spec& spec,
+                                                    int cluster_size) {
+  std::vector<std::unique_ptr<Invariant>> out;
+  if (spec.invariants.empty()) {
+    for (const Registered& r : kRegistry) out.push_back(r.make(cluster_size));
+    return out;
+  }
+  // Suite order regardless of request order: verdicts and artifacts stay
+  // stable under spec reordering.
+  for (const Registered& r : kRegistry) {
+    if (std::find(spec.invariants.begin(), spec.invariants.end(), r.name) !=
+        spec.invariants.end()) {
+      out.push_back(r.make(cluster_size));
+    }
+  }
+  if (out.size() != spec.invariants.size()) {
+    for (const std::string& name : spec.invariants) {
+      const bool known =
+          std::any_of(std::begin(kRegistry), std::end(kRegistry),
+                      [&name](const Registered& r) { return r.name == name; });
+      if (!known) {
+        throw std::invalid_argument(
+            "unknown invariant '" + name +
+            "' — run check::builtin_invariant_names() for the catalog");
+      }
+    }
+    throw std::invalid_argument(
+        "duplicate invariant names in check::Spec::invariants");
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& builtin_invariant_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const Registered& r : kRegistry) out.emplace_back(r.name);
+    return out;
+  }();
+  return names;
+}
+
+std::vector<std::unique_ptr<Invariant>> make_invariants(const Spec& spec) {
+  // Cluster-size-independent use (stream-only scans): size the tables for
+  // the largest supported cluster.
+  return instantiate(spec, 4096);
+}
+
+// ---------------------------------------------------------------------------
+// Checker
+
+Checker::Checker(const Spec& spec, const swim::Config& config,
+                 int cluster_size)
+    : spec_(spec),
+      config_(config),
+      cluster_size_(cluster_size),
+      invariants_(instantiate(spec, cluster_size)),
+      last_restart_(static_cast<std::size_t>(cluster_size), TimePoint{-1}),
+      crashed_(static_cast<std::size_t>(cluster_size), false) {
+  for (const auto& inv : invariants_) {
+    wants_datagrams_ = wants_datagrams_ || inv->wants_datagrams();
+  }
+}
+
+CheckContext Checker::context() {
+  CheckContext ctx;
+  ctx.checker = this;
+  ctx.sim = sim_;
+  ctx.config = &config_;
+  ctx.cluster_size = cluster_size_;
+  ctx.spec = &spec_;
+  ctx.last_restart = &last_restart_;
+  ctx.crashed = &crashed_;
+  ctx.last_disturbance = last_disturbance_;
+  ctx.disturbed = disturbed_;
+  return ctx;
+}
+
+void Checker::on_trace_event(const TraceEvent& e) {
+  ++events_seen_;
+  const bool node_in_range =
+      e.node >= 0 && e.node < cluster_size_;
+  switch (e.kind) {
+    case TraceEventKind::kCrash:
+      if (node_in_range) crashed_[static_cast<std::size_t>(e.node)] = true;
+      break;
+    case TraceEventKind::kRestart:
+      if (node_in_range) {
+        crashed_[static_cast<std::size_t>(e.node)] = false;
+        last_restart_[static_cast<std::size_t>(e.node)] = e.at;
+      }
+      break;
+    default:
+      break;
+  }
+  switch (e.kind) {
+    case TraceEventKind::kCrash:
+    case TraceEventKind::kRestart:
+    case TraceEventKind::kBlock:
+    case TraceEventKind::kUnblock:
+    case TraceEventKind::kFaultStart:
+    case TraceEventKind::kFaultEnd:
+      last_disturbance_ = std::max(last_disturbance_, e.at);
+      disturbed_ = true;
+      break;
+    default:
+      break;
+  }
+  const CheckContext ctx = context();
+  for (const auto& inv : invariants_) {
+    if (e.kind == TraceEventKind::kDatagram && !inv->wants_datagrams()) {
+      continue;
+    }
+    inv->on_event(e, ctx);
+  }
+}
+
+void Checker::finish(TimePoint run_end) {
+  if (finished_) return;
+  finished_ = true;
+  CheckContext ctx = context();
+  ctx.run_end = run_end;
+  for (const auto& inv : invariants_) inv->at_end(ctx);
+}
+
+void Checker::add_violation(const std::string& invariant, TimePoint at,
+                            int node, int member, std::string message) {
+  ++total_violations_;
+  if (violations_.size() < spec_.max_violations) {
+    Violation v;
+    v.invariant = invariant;
+    v.at = at;
+    v.node = node;
+    v.member = member;
+    v.message = std::move(message);
+    violations_.push_back(std::move(v));
+  }
+}
+
+RunReport Checker::report() const {
+  RunReport r;
+  r.checked = true;
+  for (const auto& inv : invariants_) r.invariants.push_back(inv->name());
+  r.events_seen = events_seen_;
+  r.total_violations = total_violations_;
+  r.violations = violations_;
+  return r;
+}
+
+}  // namespace lifeguard::check

@@ -1,0 +1,51 @@
+// Deterministic trace replay.
+//
+// replay() re-executes a recorded run — the engine is deterministic, so the
+// (scenario, seed) pair *is* the execution — while recording a fresh trace,
+// then verifies the replayed stream against the recording element by
+// element. A match certifies the reproducer: the same events, at the same
+// virtual times, in the same order, bit for bit. A divergence names the
+// first differing element (an engine change, a perturbed seed, or a
+// corrupted trace).
+//
+// scenario_from_header() rebuilds the Scenario a trace header describes, so
+// `scenario_runner --replay FILE` works from the artifact alone. Traces of
+// non-preset ("Custom") protocol configs can only be replayed through the
+// in-memory overload.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/trace.h"
+#include "harness/scenario.h"
+
+namespace lifeguard::check {
+
+struct ReplayResult {
+  /// The re-executed run (RunResult::checks carries re-checked verdicts
+  /// when the trace was recorded with checks enabled).
+  harness::RunResult result;
+  /// The freshly recorded stream.
+  Trace trace;
+  /// True when the replayed stream equals the recording element-wise.
+  bool matches = false;
+  /// First divergence, rendered ("event 1234: recorded ..., replayed ...");
+  /// empty when matches.
+  std::string divergence;
+};
+
+/// Re-run `s` and verify against `recorded`. The scenario must be the one
+/// the trace was recorded from (use scenario_from_header for file traces).
+ReplayResult replay(const harness::Scenario& s, const Trace& recorded);
+
+/// Rebuild the Scenario a header describes; nullopt + `error` when the
+/// config preset is unknown ("Custom") or the timeline fails to parse.
+std::optional<harness::Scenario> scenario_from_header(const TraceHeader& h,
+                                                      std::string& error);
+
+/// Load, rebuild, and replay in one step.
+std::optional<ReplayResult> replay_file(const std::string& path,
+                                        std::string& error);
+
+}  // namespace lifeguard::check

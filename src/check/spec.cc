@@ -1,0 +1,70 @@
+#include "check/spec.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace lifeguard::check {
+
+Spec Spec::all() {
+  Spec s;
+  s.enabled = true;
+  return s;  // empty invariant list = the full built-in suite
+}
+
+std::vector<std::string> Spec::validate() const {
+  std::vector<std::string> errors;
+  const std::vector<std::string>& known = builtin_invariant_names();
+  std::set<std::string> seen;
+  for (const std::string& name : invariants) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::string catalog;
+      for (const std::string& k : known) {
+        if (!catalog.empty()) catalog += ", ";
+        catalog += k;
+      }
+      errors.push_back("checks.invariants names unknown invariant '" + name +
+                       "' — the built-in suite is: " + catalog);
+    } else if (!seen.insert(name).second) {
+      errors.push_back("checks.invariants lists '" + name +
+                       "' twice — each invariant runs once");
+    }
+  }
+  if (timeout_slack < 0.0 || timeout_slack >= 1.0) {
+    errors.push_back("checks.timeout_slack (" + std::to_string(timeout_slack) +
+                     ") must be a fraction in [0, 1)");
+  }
+  if (convergence_settle < Duration{0}) {
+    errors.push_back("checks.convergence_settle must be >= 0");
+  }
+  if (suspicion_cap < Duration{0}) {
+    errors.push_back("checks.suspicion_cap must be >= 0 (0 = derive the "
+                     "bound from the protocol config)");
+  }
+  if (max_violations < 1) {
+    errors.push_back("checks.max_violations must be >= 1 — a checker that "
+                     "retains nothing cannot explain a failure");
+  }
+  return errors;
+}
+
+std::string Violation::describe() const {
+  std::ostringstream os;
+  os << "[" << at.seconds() << "s] " << invariant;
+  if (node >= 0) os << " node-" << node;
+  if (member >= 0) os << " about node-" << member;
+  os << ": " << message;
+  return os.str();
+}
+
+std::vector<std::string> RunReport::violated_invariants() const {
+  std::vector<std::string> out;
+  for (const Violation& v : violations) {
+    if (std::find(out.begin(), out.end(), v.invariant) == out.end()) {
+      out.push_back(v.invariant);
+    }
+  }
+  return out;
+}
+
+}  // namespace lifeguard::check

@@ -1,0 +1,87 @@
+// Checking-layer value types that ride inside harness::Scenario/RunResult.
+//
+// A check::Spec is a plain descriptor: which invariants run and the few
+// tolerance knobs they read. It lives in Scenario (the `checks` slot) so a
+// campaign sweeps and validates it like any other field. A RunReport is the
+// per-run verdict carried back in RunResult: which invariants ran, how many
+// events they saw, and every Violation (capped — the count is exact, the
+// retained list bounded).
+//
+// Everything here is deterministic data derived only from the (scenario,
+// seed) run, so campaign artifacts that include verdicts stay bit-identical
+// at every jobs level. The invariant implementations live in invariant.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lifeguard::check {
+
+/// Stable names of the built-in invariant suite (the order they run in).
+const std::vector<std::string>& builtin_invariant_names();
+
+/// Which invariants to evaluate and with what tolerances.
+struct Spec {
+  bool enabled = false;
+  /// Invariant names to run; empty means the full built-in suite.
+  std::vector<std::string> invariants;
+
+  /// Fractional tolerance on the suspicion-bounds window (timer-grain and
+  /// float-rounding slack, not protocol slack).
+  double timeout_slack = 0.05;
+  /// convergence: only asserted when the run's tail — from the last fault /
+  /// block / crash / restart event to run end — is at least this long;
+  /// shorter tails make the check vacuously pass (the protocol was never
+  /// given time to settle).
+  Duration convergence_settle = sec(20);
+  /// suspicion-bounds: when > 0, overrides the derived upper bound. Setting
+  /// it below the protocol's real floor plants a deliberate violation —
+  /// the shrinker's property tests are built on this knob.
+  Duration suspicion_cap{};
+  /// Retain at most this many Violation records (total_violations stays
+  /// exact beyond the cap).
+  std::size_t max_violations = 64;
+
+  /// The full built-in suite, enabled.
+  static Spec all();
+
+  /// Empty when runnable; otherwise one actionable message per defect
+  /// (unknown invariant names, out-of-range tolerances).
+  std::vector<std::string> validate() const;
+};
+
+/// One invariant violation, anchored to the merged event stream.
+struct Violation {
+  std::string invariant;
+  TimePoint at{};
+  int node = -1;    ///< reporter / afflicted node (-1 for cluster-wide)
+  int member = -1;  ///< subject member (-1 when not member-specific)
+  std::string message;
+
+  bool operator==(const Violation&) const = default;
+
+  /// "[73.41s] suspicion-bounds node-3 about node-7: ..." — log form.
+  std::string describe() const;
+};
+
+/// Per-run checking verdict (RunResult::checks).
+struct RunReport {
+  bool checked = false;
+  /// Names of the invariants that ran, in execution order.
+  std::vector<std::string> invariants;
+  std::int64_t events_seen = 0;
+  /// Exact violation count (violations.size() may be capped below it).
+  std::int64_t total_violations = 0;
+  std::vector<Violation> violations;
+
+  bool passed() const { return checked && total_violations == 0; }
+  /// Distinct violated invariant names, first-occurrence order.
+  std::vector<std::string> violated_invariants() const;
+
+  bool operator==(const RunReport&) const = default;
+};
+
+}  // namespace lifeguard::check

@@ -1,0 +1,88 @@
+#include "check/tap.h"
+
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace lifeguard::check {
+
+namespace {
+
+TraceEventKind member_event_kind(swim::EventType t) {
+  switch (t) {
+    case swim::EventType::kJoin:
+      return TraceEventKind::kJoin;
+    case swim::EventType::kAlive:
+      return TraceEventKind::kAlive;
+    case swim::EventType::kSuspect:
+      return TraceEventKind::kSuspect;
+    case swim::EventType::kFailed:
+      return TraceEventKind::kFailed;
+    case swim::EventType::kLeft:
+      return TraceEventKind::kLeft;
+  }
+  return TraceEventKind::kJoin;
+}
+
+TraceEventKind sim_event_kind(sim::SimEventKind k) {
+  switch (k) {
+    case sim::SimEventKind::kCrash:
+      return TraceEventKind::kCrash;
+    case sim::SimEventKind::kRestart:
+      return TraceEventKind::kRestart;
+    case sim::SimEventKind::kBlock:
+      return TraceEventKind::kBlock;
+    case sim::SimEventKind::kUnblock:
+      return TraceEventKind::kUnblock;
+    case sim::SimEventKind::kFaultStart:
+      return TraceEventKind::kFaultStart;
+    case sim::SimEventKind::kFaultEnd:
+      return TraceEventKind::kFaultEnd;
+    case sim::SimEventKind::kDatagram:
+      return TraceEventKind::kDatagram;
+  }
+  return TraceEventKind::kDatagram;
+}
+
+}  // namespace
+
+EventTap::EventTap(sim::Simulator& sim, std::vector<TraceSink*> sinks)
+    : sim_(sim), sinks_(std::move(sinks)) {
+  for (const TraceSink* s : sinks_) {
+    any_wants_datagrams_ = any_wants_datagrams_ || s->wants_datagrams();
+  }
+  bus_sub_ = sim.event_bus().subscribe([this](const swim::MemberEvent& me) {
+    TraceEvent e;
+    e.at = me.at;
+    e.kind = member_event_kind(me.type);
+    e.node = node_index_of(me.reporter);
+    e.peer = node_index_of(me.member);
+    e.origin = node_index_of(me.origin);
+    e.incarnation = me.incarnation;
+    e.originated = me.originated;
+    forward(e);
+  });
+  sim_tap_token_ = sim.add_sim_tap([this](const sim::SimEvent& se) {
+    if (se.kind == sim::SimEventKind::kDatagram && !any_wants_datagrams_) {
+      return;
+    }
+    TraceEvent e;
+    e.at = se.at;
+    e.kind = sim_event_kind(se.kind);
+    e.node = se.node;
+    e.peer = se.peer;
+    forward(e);
+  });
+}
+
+EventTap::~EventTap() { sim_.remove_sim_tap(sim_tap_token_); }
+
+void EventTap::forward(const TraceEvent& e) {
+  const bool datagram = e.kind == TraceEventKind::kDatagram;
+  for (TraceSink* s : sinks_) {
+    if (datagram && !s->wants_datagrams()) continue;
+    s->on_trace_event(e);
+  }
+}
+
+}  // namespace lifeguard::check

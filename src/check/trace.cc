@@ -1,0 +1,640 @@
+#include "check/trace.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "harness/report.h"
+
+namespace lifeguard::check {
+
+using harness::json_double;
+using harness::json_escape;
+
+bool Trace::has_datagrams() const {
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kDatagram) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Header derivation & timeline specs
+
+namespace {
+
+std::string us_spec(Duration d) { return std::to_string(d.us) + "us"; }
+
+std::string selector_spec(const fault::VictimSelector& v) {
+  switch (v.mode) {
+    case fault::VictimSelector::Mode::kUniform:
+      return "victims=" + std::to_string(v.count);
+    case fault::VictimSelector::Mode::kExplicit: {
+      std::string out = "nodes=";
+      for (std::size_t i = 0; i < v.indices.size(); ++i) {
+        if (i > 0) out += "+";
+        out += std::to_string(v.indices[i]);
+      }
+      return out;
+    }
+    case fault::VictimSelector::Mode::kFraction:
+      return "pct=" + json_double(v.fraction * 100.0);
+    case fault::VictimSelector::Mode::kIsland:
+      return "island=" + std::to_string(v.count) + "+" +
+             std::to_string(v.first);
+  }
+  return "victims=1";
+}
+
+}  // namespace
+
+std::string entry_spec(const fault::TimelineEntry& e) {
+  std::string out = std::string(fault_kind_name(e.fault.kind)) + "@" +
+                    us_spec(e.at) + ":" + us_spec(e.duration) + "," +
+                    selector_spec(e.victims);
+  const fault::Fault& f = e.fault;
+  switch (f.kind) {
+    case fault::FaultKind::kBlock:
+    case fault::FaultKind::kPartition:
+      break;
+    case fault::FaultKind::kIntervalBlock:
+    case fault::FaultKind::kFlapping:
+      out += ",d=" + us_spec(f.period) + ",i=" + us_spec(f.gap);
+      break;
+    case fault::FaultKind::kChurn:
+      out += ",down=" + us_spec(f.period) + ",up=" + us_spec(f.gap);
+      break;
+    case fault::FaultKind::kStress:
+      out += ",bmin=" + us_spec(f.stress.block_min) +
+             ",bmax=" + us_spec(f.stress.block_max) +
+             ",rmin=" + us_spec(f.stress.run_min) +
+             ",rmax=" + us_spec(f.stress.run_max);
+      break;
+    case fault::FaultKind::kLinkLoss:
+      out += ",egress=" + json_double(f.egress_loss) +
+             ",ingress=" + json_double(f.ingress_loss);
+      break;
+    case fault::FaultKind::kLatency:
+      out += ",extra=" + us_spec(f.extra_latency) +
+             ",jitter=" + us_spec(f.jitter);
+      break;
+    case fault::FaultKind::kDuplicate:
+      out += ",p=" + json_double(f.probability);
+      break;
+    case fault::FaultKind::kReorder:
+      out += ",p=" + json_double(f.probability) +
+             ",spread=" + us_spec(f.spread);
+      break;
+  }
+  return out;
+}
+
+std::vector<std::string> timeline_specs(const fault::Timeline& tl) {
+  std::vector<std::string> out;
+  out.reserve(tl.size());
+  for (const fault::TimelineEntry& e : tl.entries()) {
+    out.push_back(entry_spec(e));
+  }
+  return out;
+}
+
+std::optional<fault::Timeline> timeline_from_specs(
+    const std::vector<std::string>& specs, std::string& error) {
+  fault::Timeline tl;
+  for (const std::string& spec : specs) {
+    std::string entry_error;
+    const auto e = fault::parse_timeline_entry(spec, entry_error);
+    if (!e) {
+      error = "bad timeline spec '" + spec + "': " + entry_error;
+      return std::nullopt;
+    }
+    tl.add(*e);
+  }
+  return tl;
+}
+
+TraceHeader make_header(const harness::Scenario& s) {
+  TraceHeader h;
+  h.scenario = s.name;
+  h.seed = s.seed;
+  h.cluster_size = s.cluster_size;
+  h.quiesce = s.quiesce;
+  h.run_length = s.run_length;
+  // The header carries the preset name plus the suspicion tuning — the
+  // only config fields the catalog varies. A config that differs from its
+  // preset in any *other* field is recorded as "Custom" so replay_file
+  // rejects it honestly instead of silently rebuilding the wrong run
+  // (replay(Scenario, Trace) still works for such runs).
+  h.config_name = s.config.table1_name();
+  h.suspicion_alpha = s.config.suspicion_alpha;
+  h.suspicion_beta = s.config.suspicion_beta;
+  h.suspicion_k = s.config.suspicion_k;
+  if (auto preset = swim::Config::from_table1_name(h.config_name)) {
+    preset->suspicion_alpha = h.suspicion_alpha;
+    preset->suspicion_beta = h.suspicion_beta;
+    preset->suspicion_k = h.suspicion_k;
+    if (!(*preset == s.config)) h.config_name = "Custom";
+  }
+  h.network = s.network;
+  h.msg_proc_cost = s.msg_proc_cost;
+  h.recv_buffer_bytes = s.recv_buffer_bytes;
+  h.timeline = timeline_specs(s.effective_timeline());
+  h.checks = s.checks;
+  return h;
+}
+
+TraceRecorder::TraceRecorder(const harness::Scenario& s, bool include_datagrams)
+    : include_datagrams_(include_datagrams) {
+  trace_.header = make_header(s);
+}
+
+void TraceRecorder::on_trace_event(const TraceEvent& e) {
+  trace_.events.push_back(e);
+}
+
+// ---------------------------------------------------------------------------
+// Save
+
+namespace {
+
+std::string strings_json(const std::vector<std::string>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(v[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+void save_trace(const Trace& t, std::ostream& out) {
+  const TraceHeader& h = t.header;
+  out << "{\"type\":\"trace\",\"version\":1"
+      << ",\"scenario\":\"" << json_escape(h.scenario) << "\""
+      << ",\"seed\":\"" << h.seed << "\""
+      << ",\"nodes\":" << h.cluster_size
+      << ",\"quiesce_us\":" << h.quiesce.us
+      << ",\"run_length_us\":" << h.run_length.us
+      << ",\"config\":\"" << json_escape(h.config_name) << "\""
+      << ",\"alpha\":" << json_double(h.suspicion_alpha)
+      << ",\"beta\":" << json_double(h.suspicion_beta)
+      << ",\"k\":" << h.suspicion_k
+      << ",\"loss\":" << json_double(h.network.udp_loss)
+      << ",\"lat_min_us\":" << h.network.latency_min.us
+      << ",\"lat_max_us\":" << h.network.latency_max.us
+      << ",\"proc_us\":" << h.msg_proc_cost.us
+      << ",\"rbuf\":" << h.recv_buffer_bytes
+      << ",\"timeline\":" << strings_json(h.timeline)
+      << ",\"checked\":" << (h.checks.enabled ? "true" : "false")
+      << ",\"invariants\":" << strings_json(h.checks.invariants)
+      << ",\"slack\":" << json_double(h.checks.timeout_slack)
+      << ",\"settle_us\":" << h.checks.convergence_settle.us
+      << ",\"cap_us\":" << h.checks.suspicion_cap.us
+      << ",\"max_violations\":" << h.checks.max_violations << "}\n";
+  for (const TraceEvent& e : t.events) {
+    out << "{\"t\":" << e.at.us << ",\"k\":\""
+        << trace_event_kind_name(e.kind) << "\"";
+    if (e.node >= 0) out << ",\"n\":" << e.node;
+    if (e.peer >= 0) out << ",\"m\":" << e.peer;
+    if (e.origin >= 0) out << ",\"o\":" << e.origin;
+    if (e.incarnation != 0) out << ",\"inc\":" << e.incarnation;
+    if (e.originated) out << ",\"og\":1";
+    out << "}\n";
+  }
+  out << "{\"type\":\"end\",\"events\":" << t.events.size() << "}\n";
+}
+
+bool save_trace_file(const Trace& t, const std::string& path,
+                     std::string& error) {
+  std::ofstream out(path);
+  if (!out) {
+    error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  save_trace(t, out);
+  out.flush();
+  if (!out) {
+    error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Load (purpose-built flat-JSON line scanner)
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kArray };
+  Kind kind = Kind::kString;
+  std::string text;  ///< unescaped string, or the raw number token
+  bool boolean = false;
+  std::vector<std::string> array;  ///< string elements
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+bool scan_string(std::string_view s, std::size_t& i, std::string& out,
+                 std::string& error) {
+  if (i >= s.size() || s[i] != '"') {
+    error = "expected '\"'";
+    return false;
+  }
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i++];
+    if (c == '\\') {
+      if (i >= s.size()) {
+        error = "dangling escape";
+        return false;
+      }
+      const char esc = s[i++];
+      switch (esc) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case '/': c = '/'; break;
+        case 'n': c = '\n'; break;
+        case 'r': c = '\r'; break;
+        case 't': c = '\t'; break;
+        case 'u': {
+          if (i + 4 > s.size()) {
+            error = "truncated \\u escape";
+            return false;
+          }
+          unsigned code = 0;
+          for (int d = 0; d < 4; ++d) {
+            const char hc = s[i++];
+            code <<= 4;
+            if (hc >= '0' && hc <= '9') code |= static_cast<unsigned>(hc - '0');
+            else if (hc >= 'a' && hc <= 'f') code |= static_cast<unsigned>(hc - 'a' + 10);
+            else if (hc >= 'A' && hc <= 'F') code |= static_cast<unsigned>(hc - 'A' + 10);
+            else {
+              error = "bad \\u escape";
+              return false;
+            }
+          }
+          // Traces only escape control characters; anything else is kept
+          // as-is only when it fits one byte.
+          if (code > 0xFF) {
+            error = "unsupported \\u escape above 0xFF";
+            return false;
+          }
+          c = static_cast<char>(code);
+          break;
+        }
+        default:
+          error = "unknown escape";
+          return false;
+      }
+    }
+    out += c;
+  }
+  if (i >= s.size()) {
+    error = "unterminated string";
+    return false;
+  }
+  ++i;  // closing quote
+  return true;
+}
+
+bool scan_value(std::string_view s, std::size_t& i, JsonValue& out,
+                std::string& error) {
+  skip_ws(s, i);
+  if (i >= s.size()) {
+    error = "expected a value";
+    return false;
+  }
+  if (s[i] == '"') {
+    out.kind = JsonValue::Kind::kString;
+    return scan_string(s, i, out.text, error);
+  }
+  if (s[i] == 't' || s[i] == 'f') {
+    const bool is_true = s.substr(i, 4) == "true";
+    const bool is_false = s.substr(i, 5) == "false";
+    if (!is_true && !is_false) {
+      error = "bad literal";
+      return false;
+    }
+    out.kind = JsonValue::Kind::kBool;
+    out.boolean = is_true;
+    i += is_true ? 4 : 5;
+    return true;
+  }
+  if (s[i] == '[') {
+    ++i;
+    out.kind = JsonValue::Kind::kArray;
+    out.array.clear();
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      std::string element;
+      skip_ws(s, i);
+      if (!scan_string(s, i, element, error)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      error = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+  // number
+  const std::size_t start = i;
+  while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                          s[i] == '-' || s[i] == '+' || s[i] == '.' ||
+                          s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+  }
+  if (i == start) {
+    error = "expected a value";
+    return false;
+  }
+  out.kind = JsonValue::Kind::kNumber;
+  out.text = std::string(s.substr(start, i - start));
+  return true;
+}
+
+bool parse_flat_object(const std::string& line, JsonObject& out,
+                       std::string& error) {
+  out.clear();
+  std::string_view s = line;
+  std::size_t i = 0;
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != '{') {
+    error = "expected '{'";
+    return false;
+  }
+  ++i;
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '}') return true;
+  while (true) {
+    std::string key;
+    skip_ws(s, i);
+    if (!scan_string(s, i, key, error)) return false;
+    skip_ws(s, i);
+    if (i >= s.size() || s[i] != ':') {
+      error = "expected ':' after key '" + key + "'";
+      return false;
+    }
+    ++i;
+    JsonValue v;
+    if (!scan_value(s, i, v, error)) return false;
+    out.emplace(std::move(key), std::move(v));
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') return true;
+    error = "expected ',' or '}'";
+    return false;
+  }
+}
+
+// Typed field accessors; `required` fields set `error` when missing.
+const JsonValue* field(const JsonObject& o, const std::string& key) {
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+bool get_i64(const JsonObject& o, const std::string& key, std::int64_t& out,
+             std::string& error, bool required = true) {
+  const JsonValue* v = field(o, key);
+  if (v == nullptr) {
+    if (required) error = "missing field '" + key + "'";
+    return !required;
+  }
+  // Numbers arrive as raw tokens; seeds as strings — accept both.
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->text.c_str(), &end, 10);
+  if (end != v->text.c_str() + v->text.size() || errno == ERANGE) {
+    error = "field '" + key + "' is not an integer";
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+bool get_u64(const JsonObject& o, const std::string& key, std::uint64_t& out,
+             std::string& error) {
+  const JsonValue* v = field(o, key);
+  if (v == nullptr) {
+    error = "missing field '" + key + "'";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->text.c_str(), &end, 10);
+  if (end != v->text.c_str() + v->text.size() || errno == ERANGE) {
+    error = "field '" + key + "' is not an unsigned integer";
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+bool get_dbl(const JsonObject& o, const std::string& key, double& out,
+             std::string& error) {
+  const JsonValue* v = field(o, key);
+  if (v == nullptr) {
+    error = "missing field '" + key + "'";
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->text.c_str(), &end);
+  if (end != v->text.c_str() + v->text.size() || errno == ERANGE) {
+    error = "field '" + key + "' is not a number";
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+bool get_str(const JsonObject& o, const std::string& key, std::string& out,
+             std::string& error) {
+  const JsonValue* v = field(o, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    error = "missing string field '" + key + "'";
+    return false;
+  }
+  out = v->text;
+  return true;
+}
+
+bool parse_header(const JsonObject& o, TraceHeader& h, std::string& error) {
+  std::int64_t i64 = 0;
+  if (!get_str(o, "scenario", h.scenario, error)) return false;
+  if (!get_u64(o, "seed", h.seed, error)) return false;
+  if (!get_i64(o, "nodes", i64, error)) return false;
+  h.cluster_size = static_cast<int>(i64);
+  if (!get_i64(o, "quiesce_us", h.quiesce.us, error)) return false;
+  if (!get_i64(o, "run_length_us", h.run_length.us, error)) return false;
+  if (!get_str(o, "config", h.config_name, error)) return false;
+  if (!get_dbl(o, "alpha", h.suspicion_alpha, error)) return false;
+  if (!get_dbl(o, "beta", h.suspicion_beta, error)) return false;
+  if (!get_i64(o, "k", i64, error)) return false;
+  h.suspicion_k = static_cast<int>(i64);
+  if (!get_dbl(o, "loss", h.network.udp_loss, error)) return false;
+  if (!get_i64(o, "lat_min_us", h.network.latency_min.us, error)) return false;
+  if (!get_i64(o, "lat_max_us", h.network.latency_max.us, error)) return false;
+  if (!get_i64(o, "proc_us", h.msg_proc_cost.us, error)) return false;
+  if (!get_i64(o, "rbuf", i64, error)) return false;
+  h.recv_buffer_bytes = static_cast<std::size_t>(i64);
+  const JsonValue* tl = field(o, "timeline");
+  if (tl == nullptr || tl->kind != JsonValue::Kind::kArray) {
+    error = "missing array field 'timeline'";
+    return false;
+  }
+  h.timeline = tl->array;
+  const JsonValue* checked = field(o, "checked");
+  h.checks.enabled = checked != nullptr && checked->boolean;
+  if (const JsonValue* inv = field(o, "invariants");
+      inv != nullptr && inv->kind == JsonValue::Kind::kArray) {
+    h.checks.invariants = inv->array;
+  }
+  if (!get_dbl(o, "slack", h.checks.timeout_slack, error)) return false;
+  if (!get_i64(o, "settle_us", h.checks.convergence_settle.us, error)) {
+    return false;
+  }
+  if (!get_i64(o, "cap_us", h.checks.suspicion_cap.us, error)) return false;
+  if (!get_i64(o, "max_violations", i64, error)) return false;
+  h.checks.max_violations = static_cast<std::size_t>(i64);
+  return true;
+}
+
+bool parse_event(const JsonObject& o, TraceEvent& e, std::string& error) {
+  std::string kind_name;
+  if (!get_i64(o, "t", e.at.us, error)) return false;
+  if (!get_str(o, "k", kind_name, error)) return false;
+  const auto kind = trace_event_kind_from_name(kind_name);
+  if (!kind) {
+    error = "unknown event kind '" + kind_name + "'";
+    return false;
+  }
+  e.kind = *kind;
+  std::int64_t i64 = -1;
+  if (!get_i64(o, "n", i64, error, /*required=*/false)) return false;
+  e.node = static_cast<int>(i64);
+  i64 = -1;
+  if (!get_i64(o, "m", i64, error, /*required=*/false)) return false;
+  e.peer = static_cast<int>(i64);
+  i64 = -1;
+  if (!get_i64(o, "o", i64, error, /*required=*/false)) return false;
+  e.origin = static_cast<int>(i64);
+  if (field(o, "inc") != nullptr) {
+    if (!get_u64(o, "inc", e.incarnation, error)) return false;
+  }
+  i64 = 0;
+  if (!get_i64(o, "og", i64, error, /*required=*/false)) return false;
+  e.originated = i64 != 0;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Trace> load_trace(std::istream& in, std::string& error) {
+  Trace t;
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  bool have_footer = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonObject o;
+    std::string scan_error;
+    if (!parse_flat_object(line, o, scan_error)) {
+      error = "line " + std::to_string(line_no) + ": " + scan_error;
+      return std::nullopt;
+    }
+    if (const JsonValue* type = field(o, "type")) {
+      if (type->text == "trace") {
+        if (have_header) {
+          error = "line " + std::to_string(line_no) + ": duplicate header";
+          return std::nullopt;
+        }
+        if (!parse_header(o, t.header, error)) {
+          error = "line " + std::to_string(line_no) + ": " + error;
+          return std::nullopt;
+        }
+        have_header = true;
+        continue;
+      }
+      if (type->text == "end") {
+        std::int64_t count = 0;
+        if (!get_i64(o, "events", count, error)) {
+          error = "line " + std::to_string(line_no) + ": " + error;
+          return std::nullopt;
+        }
+        if (count != static_cast<std::int64_t>(t.events.size())) {
+          error = "trace is truncated: footer declares " +
+                  std::to_string(count) + " events, file has " +
+                  std::to_string(t.events.size());
+          return std::nullopt;
+        }
+        have_footer = true;
+        continue;
+      }
+      error = "line " + std::to_string(line_no) + ": unknown record type '" +
+              type->text + "'";
+      return std::nullopt;
+    }
+    if (!have_header) {
+      error = "line " + std::to_string(line_no) +
+              ": event record before the trace header";
+      return std::nullopt;
+    }
+    TraceEvent e;
+    if (!parse_event(o, e, error)) {
+      error = "line " + std::to_string(line_no) + ": " + error;
+      return std::nullopt;
+    }
+    t.events.push_back(e);
+  }
+  if (!have_header) {
+    error = "not a trace: no header line";
+    return std::nullopt;
+  }
+  if (!have_footer) {
+    error = "trace is truncated: no end-of-trace footer";
+    return std::nullopt;
+  }
+  return t;
+}
+
+std::optional<Trace> load_trace_file(const std::string& path,
+                                     std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return load_trace(in, error);
+}
+
+}  // namespace lifeguard::check

@@ -1,0 +1,101 @@
+// Trace record–replay: persist the merged event stream of one run as a
+// compact JSONL artifact and re-execute it deterministically.
+//
+// A trace is a header line (everything needed to rebuild the Scenario: seed,
+// cluster shape, config preset + suspicion tuning, network model, the
+// effective fault timeline rendered in the --fault grammar, and the check
+// Spec) followed by one line per TraceEvent and an event-count footer
+// (truncation detection). Node identities are indices, so lines are tiny:
+//
+//   {"type":"trace","scenario":"packet-chaos","seed":"1",...}
+//   {"t":15204983,"k":"suspect","n":3,"m":7,"o":3,"inc":2,"og":1}
+//   ...
+//   {"type":"end","events":3121}
+//
+// Because the engine is deterministic, a trace doubles as a reproducer: the
+// header alone replays the run (check/replay.h), and the recorded stream
+// pins what the replay must produce, element for element.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/events.h"
+#include "check/spec.h"
+#include "fault/fault.h"
+#include "harness/scenario.h"
+
+namespace lifeguard::check {
+
+struct TraceHeader {
+  std::string scenario;
+  std::uint64_t seed = 1;
+  int cluster_size = 0;
+  Duration quiesce{};
+  Duration run_length{};
+  /// swim::Config::table1_name() of the run's config ("Custom" when it
+  /// matches no preset — such traces replay only via replay(Scenario, ...)).
+  std::string config_name;
+  double suspicion_alpha = 0.0;
+  double suspicion_beta = 0.0;
+  int suspicion_k = 0;
+  sim::NetworkParams network{};
+  Duration msg_proc_cost{};
+  std::size_t recv_buffer_bytes = 0;
+  /// The effective fault timeline, one entry_spec() string per entry.
+  std::vector<std::string> timeline;
+  /// The run's check Spec (replays re-check with identical settings).
+  Spec checks;
+};
+
+struct Trace {
+  TraceHeader header;
+  std::vector<TraceEvent> events;
+
+  bool has_datagrams() const;
+};
+
+/// Retains the merged stream of one engine run (pass to harness::run's
+/// `sinks`). The header is derived from the Scenario at construction.
+class TraceRecorder : public TraceSink {
+ public:
+  explicit TraceRecorder(const harness::Scenario& s,
+                         bool include_datagrams = false);
+
+  void on_trace_event(const TraceEvent& e) override;
+  bool wants_datagrams() const override { return include_datagrams_; }
+
+  const Trace& trace() const { return trace_; }
+  Trace take() { return std::move(trace_); }
+
+ private:
+  bool include_datagrams_;
+  Trace trace_;
+};
+
+/// Derive a trace header from a Scenario (what TraceRecorder stores).
+TraceHeader make_header(const harness::Scenario& s);
+
+/// Render one timeline entry in the `--fault` grammar such that
+/// fault::parse_timeline_entry() reconstructs it exactly.
+std::string entry_spec(const fault::TimelineEntry& e);
+std::vector<std::string> timeline_specs(const fault::Timeline& tl);
+/// Inverse of timeline_specs; nullopt + `error` on a malformed spec.
+std::optional<fault::Timeline> timeline_from_specs(
+    const std::vector<std::string>& specs, std::string& error);
+
+// ---- persistence ----
+void save_trace(const Trace& t, std::ostream& out);
+/// False + `error` when the file cannot be written.
+bool save_trace_file(const Trace& t, const std::string& path,
+                     std::string& error);
+/// nullopt + `error` (naming the offending line) on malformed input or a
+/// truncated stream.
+std::optional<Trace> load_trace(std::istream& in, std::string& error);
+std::optional<Trace> load_trace_file(const std::string& path,
+                                     std::string& error);
+
+}  // namespace lifeguard::check

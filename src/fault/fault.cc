@@ -678,6 +678,18 @@ std::optional<TimelineEntry> parse_timeline_entry(std::string_view spec,
     } else if (key == "spread") {
       if (!applies_to({FaultKind::kReorder})) return std::nullopt;
       if (!duration_key(e.fault.spread)) return std::nullopt;
+    } else if (key == "bmin") {
+      if (!applies_to({FaultKind::kStress})) return std::nullopt;
+      if (!duration_key(e.fault.stress.block_min)) return std::nullopt;
+    } else if (key == "bmax") {
+      if (!applies_to({FaultKind::kStress})) return std::nullopt;
+      if (!duration_key(e.fault.stress.block_max)) return std::nullopt;
+    } else if (key == "rmin") {
+      if (!applies_to({FaultKind::kStress})) return std::nullopt;
+      if (!duration_key(e.fault.stress.run_min)) return std::nullopt;
+    } else if (key == "rmax") {
+      if (!applies_to({FaultKind::kStress})) return std::nullopt;
+      if (!duration_key(e.fault.stress.run_max)) return std::nullopt;
     } else {
       error = "unknown key '" + std::string(key) + "'";
       return std::nullopt;

@@ -189,6 +189,7 @@ class Timeline {
 ///   victims=N | nodes=A+B+C | pct=P | island=N[+FIRST]   (selector)
 ///   d=DUR i=DUR            cycle shape (interval/flapping); churn aliases
 ///   down=DUR up=DUR        churn downtime/uptime
+///   bmin/bmax/rmin/rmax=DUR  stress block/run span distributions
 ///   egress=P ingress=P     link loss probabilities
 ///   extra=DUR jitter=DUR   added latency
 ///   p=P spread=DUR         duplicate/reorder probability and reorder spread

@@ -81,6 +81,18 @@ InjectionOutcome FaultInjector::inject(sim::Simulator& sim, const Timeline& tl,
     const TimePoint start = t0 + e.at;
     const TimePoint end = start + e.duration;
 
+    // Span markers for the checking layer's merged event stream. Scheduled
+    // before the per-kind closures so a same-instant fault-start precedes
+    // its first block/crash in the (stable FIFO) queue; notes are inert
+    // when no tap is attached.
+    const int entry_index = static_cast<int>(i);
+    sim.at(start, [&sim, entry_index] {
+      sim.note(sim::SimEventKind::kFaultStart, -1, entry_index);
+    });
+    sim.at(end, [&sim, entry_index] {
+      sim.note(sim::SimEventKind::kFaultEnd, -1, entry_index);
+    });
+
     switch (e.fault.kind) {
       case FaultKind::kBlock:
         sim::schedule_threshold_anomaly(sim, victims, start, e.duration);

@@ -219,11 +219,12 @@ void fold_point_stats(const std::vector<GridPoint>& grid,
     out[p].labels = grid[p].labels;
   }
   std::vector<Histogram> fp(grid.size()), fpm(grid.size()), msgs(grid.size()),
-      bytes(grid.size());
+      bytes(grid.size()), viols(grid.size());
   for (auto& h : fp) h.reserve(static_cast<std::size_t>(reps));
   for (auto& h : fpm) h.reserve(static_cast<std::size_t>(reps));
   for (auto& h : msgs) h.reserve(static_cast<std::size_t>(reps));
   for (auto& h : bytes) h.reserve(static_cast<std::size_t>(reps));
+  for (auto& h : viols) h.reserve(static_cast<std::size_t>(reps));
   for (const TrialResult& t : trials) {
     PointStats& ps = out[static_cast<std::size_t>(t.point_index)];
     ++ps.trials;
@@ -232,6 +233,11 @@ void fold_point_stats(const std::vector<GridPoint>& grid,
     fpm[pi].record(static_cast<double>(t.result.fp_healthy_events));
     msgs[pi].record(static_cast<double>(t.result.msgs_sent));
     bytes[pi].record(static_cast<double>(t.result.bytes_sent));
+    viols[pi].record(static_cast<double>(t.result.checks.total_violations));
+    if (t.result.checks.checked) {
+      ++ps.checked_trials;
+      if (t.result.checks.total_violations > 0) ++ps.violating_trials;
+    }
     ps.first_detect.reserve(ps.first_detect.count() +
                             t.result.first_detect.size());
     for (double s : t.result.first_detect) ps.first_detect.record(s);
@@ -244,6 +250,7 @@ void fold_point_stats(const std::vector<GridPoint>& grid,
     out[p].fp_healthy = fpm[p].summary();
     out[p].msgs = msgs[p].summary();
     out[p].bytes = bytes[p].summary();
+    out[p].violations = viols[p].summary();
   }
 }
 

@@ -150,6 +150,12 @@ struct PointStats {
   Summary fp_healthy;  ///< FP⁻ events per trial
   Summary msgs;        ///< messages sent per trial
   Summary bytes;       ///< bytes sent per trial
+  /// Invariant violations per trial (all-zero when checks are disabled).
+  Summary violations;
+  /// Trials whose invariant suite ran (Scenario::checks.enabled).
+  int checked_trials = 0;
+  /// Trials with at least one invariant violation.
+  int violating_trials = 0;
   Histogram first_detect;  ///< merged latency samples, seconds
   Histogram full_dissem;   ///< merged latency samples, seconds
 };

@@ -147,7 +147,19 @@ void JsonlReporter::on_trial(const TrialResult& t) {
        << ",\"msgs\":" << t.result.msgs_sent
        << ",\"bytes\":" << t.result.bytes_sent << ",\"first_detect\":"
        << samples_json(t.result.first_detect) << ",\"full_dissem\":"
-       << samples_json(t.result.full_dissem) << "}\n";
+       << samples_json(t.result.full_dissem)
+       << ",\"checked\":" << (t.result.checks.checked ? "true" : "false")
+       << ",\"violations\":" << t.result.checks.total_violations;
+  if (t.result.checks.total_violations > 0) {
+    out_ << ",\"violated\":[";
+    const auto names = t.result.checks.violated_invariants();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out_ << ",";
+      out_ << "\"" << json_escape(names[i]) << "\"";
+    }
+    out_ << "]";
+  }
+  out_ << "}\n";
 }
 
 void JsonlReporter::end(const CampaignResult& r) {
@@ -159,7 +171,10 @@ void JsonlReporter::end(const CampaignResult& r) {
          << ",\"msgs\":" << summary_json(ps.msgs)
          << ",\"bytes\":" << summary_json(ps.bytes) << ",\"first_detect\":"
          << summary_json(ps.first_detect.summary()) << ",\"full_dissem\":"
-         << summary_json(ps.full_dissem.summary()) << "}\n";
+         << summary_json(ps.full_dissem.summary())
+         << ",\"checked_trials\":" << ps.checked_trials
+         << ",\"violating_trials\":" << ps.violating_trials
+         << ",\"violations\":" << summary_json(ps.violations) << "}\n";
   }
   out_.flush();
 }
@@ -175,7 +190,8 @@ void CsvReporter::begin(const Campaign& c, const std::vector<GridPoint>& grid,
   out_ << "trial,point,rep,seed";
   for (const Axis& a : c.axes) out_ << "," << csv_field(a.name);
   out_ << ",scenario,cluster_size,fp,fp_healthy,msgs,bytes,detections,"
-          "first_detect_p50,first_detect_p99,full_dissem_p50\n";
+          "first_detect_p50,first_detect_p99,full_dissem_p50,checked,"
+          "violations\n";
 }
 
 void CsvReporter::on_trial(const TrialResult& t) {
@@ -194,7 +210,9 @@ void CsvReporter::on_trial(const TrialResult& t) {
        << t.result.bytes_sent << "," << fd.count() << ","
        << json_double(fd.percentile(0.5)) << ","
        << json_double(fd.percentile(0.99)) << ","
-       << json_double(dd.percentile(0.5)) << "\n";
+       << json_double(dd.percentile(0.5)) << ","
+       << (t.result.checks.checked ? 1 : 0) << ","
+       << t.result.checks.total_violations << "\n";
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "check/invariant.h"
+#include "check/tap.h"
 #include "cluster/cluster.h"
 #include "fault/injector.h"
 #include "sim/simulator.h"
@@ -187,6 +189,8 @@ std::vector<std::string> Scenario::validate() const {
          secs(network.latency_max) +
          "] must satisfy 0 <= latency_min <= latency_max");
   }
+
+  for (std::string& e : checks.validate()) fail(std::move(e));
 
   if (!timeline.empty()) {
     if (anomaly.kind != AnomalyKind::kNone) {
@@ -381,7 +385,7 @@ fault::Timeline Scenario::effective_timeline() const {
   return anomaly.to_timeline(run_length);
 }
 
-RunResult run(const Scenario& s) {
+RunResult run(const Scenario& s, const std::vector<check::TraceSink*>& sinks) {
   if (auto errors = s.validate(); !errors.empty()) {
     throw ScenarioError(std::move(errors));
   }
@@ -395,6 +399,20 @@ RunResult run(const Scenario& s) {
                      .recv_buffer_bytes(s.recv_buffer_bytes)
                      .build();
   sim::Simulator& sim = *cluster->simulator();
+
+  // The checking layer observes the whole run (including the quiesce — a
+  // trace replays from virtual time zero), so the tap attaches before
+  // start(). Observers never perturb the run: no Rng draws, no mutation.
+  std::optional<check::Checker> checker;
+  std::vector<check::TraceSink*> all_sinks = sinks;
+  if (s.checks.enabled) {
+    checker.emplace(s.checks, s.config, s.cluster_size);
+    checker->bind(&sim);
+    all_sinks.push_back(&*checker);
+  }
+  std::optional<check::EventTap> tap;
+  if (!all_sinks.empty()) tap.emplace(sim, all_sinks);
+
   cluster->start();
   cluster->run_for(s.quiesce);
 
@@ -412,6 +430,10 @@ RunResult run(const Scenario& s) {
   out.cluster_size = s.cluster_size;
   out.victims = outcome.victims;
   extract_results(sim, outcome.victims, start, out);
+  if (checker) {
+    checker->finish(sim.now());
+    out.checks = checker->report();
+  }
   return out;
 }
 

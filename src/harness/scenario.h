@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "check/events.h"
+#include "check/spec.h"
 #include "common/metrics.h"
 #include "common/types.h"
 #include "fault/fault.h"
@@ -133,6 +135,13 @@ struct Scenario {
   /// per-kind drain details).
   Duration run_length = sec(60);
 
+  /// Live protocol invariant checking (src/check). Disabled by default;
+  /// enable with `checks = check::Spec::all()` (or a narrowed Spec) and the
+  /// engine evaluates every invariant against the merged event stream,
+  /// reporting verdicts in RunResult::checks. Checking is a pure
+  /// observation: metrics are bit-identical with checks on or off.
+  check::Spec checks;
+
   /// The timeline the engine will execute: `timeline` when non-empty,
   /// otherwise the AnomalyPlan shim's one-entry equivalent.
   fault::Timeline effective_timeline() const;
@@ -178,12 +187,21 @@ struct RunResult {
 
   /// Full aggregated metrics for deeper inspection.
   Metrics metrics;
+
+  /// Invariant verdicts (checked == false unless Scenario::checks.enabled).
+  check::RunReport checks;
 };
 
 /// The engine: validate, build a simulated cluster through ClusterBuilder,
 /// quiesce, inject the anomaly plan, observe, and extract the paper's
 /// metrics. Throws ScenarioError when validate() is non-empty.
-RunResult run(const Scenario& s);
+///
+/// `sinks` observe the merged simulator + membership event stream (see
+/// check/events.h) for the whole run — pass a check::TraceRecorder to
+/// capture a replayable trace. Sinks are pure observers: results are
+/// identical with or without them.
+RunResult run(const Scenario& s,
+              const std::vector<check::TraceSink*>& sinks = {});
 
 /// "The test ends at the end of the next anomalous period" (§V-D2):
 /// `run_length` rounded up to whole (duration + interval) cycles. Forwards

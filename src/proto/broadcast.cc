@@ -48,6 +48,7 @@ std::vector<std::vector<std::uint8_t>> BroadcastQueue::get_broadcasts(
     out.push_back(e.frame);
     ++e.transmits;
     ++total_transmits_;
+    max_transmits_ = std::max(max_transmits_, e.transmits);
     if (e.transmits >= limit) done.push_back(i);
   }
   // Remove exhausted entries (reverse order keeps indices valid).

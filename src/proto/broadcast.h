@@ -46,6 +46,10 @@ class BroadcastQueue {
 
   /// Total frames handed out by get_broadcasts (telemetry).
   std::int64_t total_transmits() const { return total_transmits_; }
+  /// Highest per-update transmit count ever reached (telemetry; the
+  /// checking layer asserts it never exceeds retransmit_limit at the
+  /// largest cluster size the queue has seen).
+  int max_transmits() const { return max_transmits_; }
 
  private:
   struct Entry {
@@ -58,6 +62,7 @@ class BroadcastQueue {
   int retransmit_mult_;
   std::uint64_t next_id_ = 1;
   std::int64_t total_transmits_ = 0;
+  int max_transmits_ = 0;
   std::vector<Entry> entries_;
 };
 

@@ -80,6 +80,10 @@ class Network {
   /// Assign `node` to partition `group`; nodes in different groups cannot
   /// exchange packets. Group 0 is the default for everyone.
   void set_partition(int node, int group);
+  /// The partition group `node` currently belongs to (0 = unpartitioned).
+  int partition_group(int node) const {
+    return groups_[static_cast<std::size_t>(node)];
+  }
   /// Heal all partitions.
   void heal();
 

@@ -76,10 +76,12 @@ bool Simulator::converged(int expected_active) const {
 }
 
 void Simulator::block_node(int index) {
+  note(SimEventKind::kBlock, index);
   runtimes_[static_cast<std::size_t>(index)]->set_blocked(true);
 }
 
 void Simulator::unblock_node(int index) {
+  note(SimEventKind::kUnblock, index);
   runtimes_[static_cast<std::size_t>(index)]->set_blocked(false);
 }
 
@@ -88,11 +90,13 @@ bool Simulator::is_blocked(int index) const {
 }
 
 void Simulator::crash_node(int index) {
+  note(SimEventKind::kCrash, index);
   crashed_[static_cast<std::size_t>(index)] = true;
   nodes_[static_cast<std::size_t>(index)]->stop();
 }
 
 void Simulator::restart_node(int index) {
+  note(SimEventKind::kRestart, index);
   const auto i = static_cast<std::size_t>(index);
   retired_metrics_.merge(nodes_[i]->metrics());
   crashed_[i] = false;
@@ -111,6 +115,26 @@ void Simulator::at(TimePoint t, std::function<void()> fn) {
   queue_.push(t, std::move(fn));
 }
 
+int Simulator::add_sim_tap(SimTap fn) {
+  const int token = next_tap_token_++;
+  sim_taps_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void Simulator::remove_sim_tap(int token) {
+  std::erase_if(sim_taps_, [token](const auto& t) { return t.first == token; });
+}
+
+void Simulator::note(SimEventKind kind, int node, int peer) {
+  if (sim_taps_.empty()) return;
+  SimEvent e;
+  e.at = now_;
+  e.kind = kind;
+  e.node = node;
+  e.peer = peer;
+  for (const auto& [token, tap] : sim_taps_) tap(e);
+}
+
 void Simulator::route(int from_node, const Address& to,
                       std::vector<std::uint8_t> payload, Channel channel) {
   const int target = index_of(to);
@@ -118,6 +142,7 @@ void Simulator::route(int from_node, const Address& to,
   if (crashed_[static_cast<std::size_t>(target)]) return;  // dead host
   if (network_->should_drop(from_node, target, channel)) return;
   ++datagrams_routed_;
+  note(SimEventKind::kDatagram, from_node, target);
   const Duration latency =
       network_->sample_link_latency(from_node, target, channel);
   // A duplication overlay (fault::Timeline) delivers a second, independently
@@ -138,6 +163,7 @@ void Simulator::route(int from_node, const Address& to,
     const Duration dup_latency =
         network_->sample_link_latency(from_node, target, channel);
     ++datagrams_routed_;
+    note(SimEventKind::kDatagram, from_node, target);
     queue_.push(now_ + dup_latency, [rt, from, copy, channel] {
       rt->deliver(from, std::move(*copy), channel);
     });

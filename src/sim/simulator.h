@@ -20,6 +20,27 @@
 
 namespace lifeguard::sim {
 
+/// Simulator-level happenings that are not membership events: process
+/// control (crash/restart/block/unblock), fault-timeline entry spans, and
+/// routed datagrams. Together with the swim::EventBus stream they form the
+/// merged observation stream the checking layer (src/check) taps.
+enum class SimEventKind : std::uint8_t {
+  kCrash = 0,    ///< node hard-killed (process death)
+  kRestart,      ///< node replaced by a fresh process and rejoining
+  kBlock,        ///< anomaly began: node's protocol I/O stalled
+  kUnblock,      ///< anomaly ended: node's I/O resumed
+  kFaultStart,   ///< a fault::Timeline entry's span opened (peer = entry)
+  kFaultEnd,     ///< a fault::Timeline entry's span closed (peer = entry)
+  kDatagram,     ///< one datagram routed from `node` to `peer`
+};
+
+struct SimEvent {
+  TimePoint at{};
+  SimEventKind kind = SimEventKind::kCrash;
+  int node = -1;  ///< afflicted node (control) or sender (datagram)
+  int peer = -1;  ///< receiver (datagram) or timeline entry index (faults)
+};
+
 struct SimParams {
   NetworkParams network;
   std::uint64_t seed = 1;
@@ -66,6 +87,9 @@ class Simulator {
   // ---- crash/stop (true failures) ----
   /// Hard-kill: the node stops processing everything (process death).
   void crash_node(int index);
+  bool is_crashed(int index) const {
+    return crashed_[static_cast<std::size_t>(index)];
+  }
   /// Replace a crashed node with a fresh process at the same address (clean
   /// state, incarnation 0) and have it rejoin through node 0. The recorded
   /// event log of the previous incarnation is retained. Models the churn of
@@ -89,10 +113,24 @@ class Simulator {
   /// restart_node (new incarnations are re-attached).
   swim::EventBus& event_bus() { return bus_; }
   Network& network() { return *network_; }
+  const Network& network() const { return *network_; }
   EventQueue& queue() { return queue_; }
   Rng& rng() { return rng_; }
   /// Schedule an experiment-control callback at absolute time `t`.
   void at(TimePoint t, std::function<void()> fn);
+
+  // ---- simulator-event taps (checking layer) ----
+  /// Attach an observer for every SimEvent; returns a token for
+  /// remove_sim_tap. Taps are pure observers: they draw no randomness and
+  /// must not mutate the cluster, so attaching one never perturbs a
+  /// (scenario, seed) replay.
+  using SimTap = std::function<void(const SimEvent&)>;
+  int add_sim_tap(SimTap fn);
+  void remove_sim_tap(int token);
+  /// Publish a SimEvent stamped with the current virtual time. Cheap no-op
+  /// while no tap is attached (kDatagram in particular fires per routed
+  /// datagram).
+  void note(SimEventKind kind, int node, int peer = -1);
 
   /// Aggregate node metrics plus network metrics into one registry.
   Metrics aggregate_metrics() const;
@@ -120,6 +158,8 @@ class Simulator {
   std::vector<std::unique_ptr<swim::Node>> nodes_;
   std::vector<swim::EventBus::Subscription> subscriptions_;
   std::vector<bool> crashed_;
+  std::vector<std::pair<int, SimTap>> sim_taps_;
+  int next_tap_token_ = 1;
   /// Metrics of node incarnations retired by restart_node.
   Metrics retired_metrics_;
   std::int64_t datagrams_routed_ = 0;

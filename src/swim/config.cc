@@ -42,4 +42,13 @@ std::string Config::table1_name() const {
   return "Custom";
 }
 
+std::optional<Config> Config::from_table1_name(std::string_view name) {
+  if (name == "SWIM") return swim_baseline();
+  if (name == "LHA-Probe") return lha_probe_only();
+  if (name == "LHA-Suspicion") return lha_suspicion_only();
+  if (name == "Buddy System") return buddy_only();
+  if (name == "Lifeguard") return lifeguard();
+  return std::nullopt;
+}
+
 }  // namespace lifeguard::swim

@@ -10,7 +10,9 @@
 // trials can construct and copy configurations freely.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/types.h"
 
@@ -90,8 +92,18 @@ struct Config {
   static Config buddy_only();
 
   /// Human-readable name of the Table I row this config corresponds to, or
-  /// "Custom" when it matches none.
+  /// "Custom" when it matches none. Note: classifies on the component
+  /// toggles only — use operator== against the preset to detect hand-tuned
+  /// fields.
   std::string table1_name() const;
+
+  /// Inverse of table1_name(): the preset a row name denotes, nullopt for
+  /// "Custom" or anything unknown. Single source of the name->preset map
+  /// (trace replay and tooling resolve presets through this).
+  static std::optional<Config> from_table1_name(std::string_view name);
+
+  /// Field-wise equality (all members are plain values).
+  bool operator==(const Config&) const = default;
 };
 
 }  // namespace lifeguard::swim

@@ -93,6 +93,8 @@ class Node : public PacketHandler {
   /// nullopt when unknown.
   std::optional<MemberState> state_of(const std::string& member) const;
   std::size_t pending_broadcasts() const { return bcast_.pending(); }
+  /// Read-only view of the gossip queue (checking layer: retransmit bound).
+  const proto::BroadcastQueue& broadcasts() const { return bcast_; }
 
  private:
   // ---- outbound (node.cc) ----
