@@ -1,0 +1,149 @@
+// Uniform benchmark CLI over the perf:: suites — measure, record, compare.
+//
+//   ./bench_runner --list
+//       Enumerate suites and their cases.
+//
+//   ./bench_runner --suite NAME [--json FILE] [--quick]
+//       Run one suite, print per-case rates, and (with --json) write the
+//       Baseline artifact. --quick shrinks the workloads for CI smoke use;
+//       committed BENCH_<suite>.json baselines are recorded WITHOUT --quick.
+//
+//   ./bench_runner --compare OLD NEW [--threshold PCT] [--report-only]
+//       Diff two baseline files on each case's primary throughput. Exits 1
+//       when any case regressed more than the threshold (default 10%) —
+//       unless --report-only, which always exits 0 (CI's soft gate).
+//
+// Updating a committed baseline:
+//   ./bench_runner --suite sim --json BENCH_sim.json
+// then commit the file together with the change that moved the numbers (see
+// docs/benchmarks.md).
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "perf/baseline.h"
+#include "perf/compare.h"
+#include "perf/suite.h"
+
+using namespace lifeguard;
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr,
+               "bench_runner: %s\n(--list shows suites; see the file header "
+               "for flags)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+void list_suites() {
+  for (const std::string& suite : perf::Suite::names()) {
+    std::printf("%s\n", suite.c_str());
+    for (const perf::BenchCase& c : *perf::Suite::find(suite)) {
+      std::printf("  %-32s %s%s\n", c.name.c_str(), c.summary.c_str(),
+                  c.heavy ? " [skipped under --quick]" : "");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list_mode = false, quick = false, report_only = false;
+  std::optional<std::string> suite, json_path, compare_old, compare_new;
+  double threshold = 10.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list_mode = true;
+    } else if (arg == "--suite") {
+      suite = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--compare") {
+      compare_old = next();
+      if (i + 1 >= argc) usage_error("--compare takes two baseline files");
+      compare_new = argv[++i];
+    } else if (arg == "--threshold") {
+      errno = 0;
+      char* end = nullptr;
+      threshold = std::strtod(next(), &end);
+      if (end == nullptr || *end != '\0' || errno == ERANGE ||
+          threshold < 0.0 || threshold > 100.0) {
+        usage_error("--threshold expects a percentage in [0, 100]");
+      }
+    } else if (arg == "--report-only") {
+      report_only = true;
+    } else {
+      usage_error("unknown option " + arg);
+    }
+  }
+
+  if (list_mode) {
+    list_suites();
+    return 0;
+  }
+
+  if (compare_old) {
+    if (suite || json_path) {
+      usage_error("--compare diffs two existing baselines and cannot be "
+                  "combined with --suite/--json");
+    }
+    std::string error;
+    const auto old_b = perf::load_baseline_file(*compare_old, error);
+    if (!old_b) usage_error(error);
+    const auto new_b = perf::load_baseline_file(*compare_new, error);
+    if (!new_b) usage_error(error);
+    if (old_b->suite != new_b->suite) {
+      std::fprintf(stderr,
+                   "bench_runner: warning: comparing suite '%s' against "
+                   "'%s'\n",
+                   old_b->suite.c_str(), new_b->suite.c_str());
+    }
+    const perf::CompareReport report =
+        perf::compare(*old_b, *new_b, threshold);
+    std::printf("%s", perf::format_report(report).c_str());
+    if (report.has_regression()) {
+      if (report_only) {
+        std::printf("(--report-only: regression reported, exit 0)\n");
+        return 0;
+      }
+      return 1;
+    }
+    return 0;
+  }
+
+  if (!suite) usage_error("pick a mode: --suite NAME, --compare, or --list");
+
+  perf::SuiteOptions opt;
+  opt.quick = quick;
+  try {
+    const perf::Baseline b = perf::Suite::run(*suite, opt, stdout);
+    std::printf("\nsuite %s: %zu case(s), host '%s', build '%s'\n",
+                b.suite.c_str(), b.entries.size(), b.host.c_str(),
+                b.build.c_str());
+    if (json_path) {
+      std::string error;
+      if (!perf::save_baseline_file(b, *json_path, error)) {
+        std::fprintf(stderr, "bench_runner: %s\n", error.c_str());
+        return 2;
+      }
+      std::printf("baseline written: %s\n", json_path->c_str());
+    }
+  } catch (const std::invalid_argument& e) {
+    usage_error(e.what());
+  }
+  return 0;
+}

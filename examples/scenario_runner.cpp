@@ -1,11 +1,14 @@
 // Run any scenario from the built-in catalog, or compose one from flags,
 // without writing code.
 //
-//   ./examples/scenario_runner --list [--json]
+//   ./examples/scenario_runner --list [--json | --markdown]
 //       Enumerate the registered scenarios (paper figures/tables, the
-//       partition / flapping / churn kinds, and the composed fault
-//       timelines). --json emits a machine-readable catalog: name, paper
-//       ref, description, cluster size and the fault-timeline summary.
+//       partition / flapping / churn kinds, the composed fault timelines
+//       and the big-* large-cluster tier). --json emits a machine-readable
+//       catalog: name, paper ref, description, cluster size and the
+//       fault-timeline summary. --markdown emits the docs/scenarios.md
+//       reference page (regenerate with tools/update-scenario-docs.sh; CI
+//       fails when the committed page is stale).
 //
 //   ./examples/scenario_runner --scenario NAME [overrides]
 //       Run a cataloged scenario; any flag below overrides that field.
@@ -175,6 +178,49 @@ void list_catalog() {
               "(flags override fields; e.g. --nodes 32 --length 60)\n");
 }
 
+/// The docs/scenarios.md reference page, generated so it can never drift
+/// from the registry (CI regenerates and diffs it). Output is fully
+/// deterministic: registry order, no timestamps.
+void list_catalog_markdown() {
+  std::printf(
+      "# Scenario reference\n"
+      "\n"
+      "<!-- Generated by `scenario_runner --list --markdown` via\n"
+      "     tools/update-scenario-docs.sh. Do not edit by hand: CI\n"
+      "     regenerates this page and fails when it is stale. -->\n"
+      "\n"
+      "Every scenario in the built-in catalog "
+      "(`harness::ScenarioRegistry::builtin()`), runnable with\n"
+      "`scenario_runner --scenario NAME` (flags override fields; see\n"
+      "`scenario_runner --list` for the live view and README.md for the\n"
+      "workflow). The fault-timeline column uses the `--fault` grammar\n"
+      "(`KIND@AT:DUR,key=val`; see `src/fault/fault.h`).\n"
+      "\n"
+      "| Scenario | Paper | Nodes | Length | Default checks | Fault "
+      "timeline |\n"
+      "|---|---|---:|---:|---|---|\n");
+  for (const Scenario& s : ScenarioRegistry::builtin().all()) {
+    std::printf("| `%s` | %s | %d | %.0f s | %s | `%s` |\n", s.name.c_str(),
+                s.paper_ref.empty() ? "—" : s.paper_ref.c_str(),
+                s.cluster_size, s.run_length.seconds(),
+                s.checks.enabled ? "on" : "off",
+                timeline_summary(s).c_str());
+  }
+  std::printf("\n## Descriptions\n\n");
+  for (const Scenario& s : ScenarioRegistry::builtin().all()) {
+    std::printf("- **`%s`**%s — %s.\n", s.name.c_str(),
+                s.paper_ref.empty() ? ""
+                                    : (" (" + s.paper_ref + ")").c_str(),
+                s.summary.c_str());
+  }
+  std::printf(
+      "\nThe `big-*` tier (n = 1000–4000) ships with the full protocol\n"
+      "invariant suite enabled and exists to exercise join storms,\n"
+      "large-view dissemination and the simulator's hot paths at scale —\n"
+      "see docs/benchmarks.md for the performance baselines that gate\n"
+      "them.\n");
+}
+
 /// Machine-readable catalog for tooling: one object per scenario.
 /// (json_escape comes from harness/report.h — one escaping rule set.)
 void list_catalog_json() {
@@ -299,14 +345,17 @@ int main(int argc, char** argv) {
   // Catalog mode is handled up front so `--json` can be a bare flag here
   // while remaining `--json FILE` in campaign mode.
   {
-    bool list_mode = false, json_mode = false;
+    bool list_mode = false, json_mode = false, markdown_mode = false;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--list") == 0) list_mode = true;
       if (std::strcmp(argv[i], "--json") == 0) json_mode = true;
+      if (std::strcmp(argv[i], "--markdown") == 0) markdown_mode = true;
     }
     if (list_mode) {
       if (json_mode) {
         list_catalog_json();
+      } else if (markdown_mode) {
+        list_catalog_markdown();
       } else {
         list_catalog();
       }

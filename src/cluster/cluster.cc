@@ -231,6 +231,11 @@ ClusterBuilder& ClusterBuilder::recv_buffer_bytes(std::size_t bytes) {
   return *this;
 }
 
+ClusterBuilder& ClusterBuilder::record_failures_only(bool on) {
+  sim_params_.record_failures_only = on;
+  return *this;
+}
+
 std::unique_ptr<Cluster> ClusterBuilder::build() const {
   if (size_ < 1) {
     throw std::invalid_argument(

@@ -20,6 +20,12 @@ class BufWriter {
  public:
   BufWriter() = default;
   explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Write into `reuse`'s storage (cleared first) — pairs with the runtime
+  /// buffer pool so hot-path encoding reuses delivered datagram capacity.
+  explicit BufWriter(std::vector<std::uint8_t> reuse)
+      : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { append_le(v); }

@@ -390,6 +390,10 @@ RunResult run(const Scenario& s, const std::vector<check::TraceSink*>& sinks) {
     throw ScenarioError(std::move(errors));
   }
 
+  // Failure-only recording: extract_results reads nothing but kFailed
+  // events, so this is metric-identical — and it keeps a big-* scenario's
+  // O(n²) join storm out of memory. Checks and traces ride the EventBus and
+  // see the full stream either way.
   auto cluster = ClusterBuilder()
                      .size(s.cluster_size)
                      .config(s.config)
@@ -397,6 +401,7 @@ RunResult run(const Scenario& s, const std::vector<check::TraceSink*>& sinks) {
                      .network(s.network)
                      .msg_proc_cost(s.msg_proc_cost)
                      .recv_buffer_bytes(s.recv_buffer_bytes)
+                     .record_failures_only(true)
                      .build();
   sim::Simulator& sim = *cluster->simulator();
 
@@ -666,6 +671,66 @@ ScenarioRegistry make_builtin() {
     s.run_length = sec(60);
     reg.add(std::move(s));
   }
+  // ---- the large-cluster tier (enabled by the perf:: optimization pass) --
+  // Protocol invariants are on by default for this tier: at these sizes the
+  // interesting failures are emergent (join storms, dissemination backlogs),
+  // and a metric assertion alone would miss a mid-run safety violation.
+  // Budget note: these run minutes of wall time on one core (the 4k
+  // scenario tens of minutes) — CI runs them out of band, not in ctest.
+  {
+    Scenario s = base("big-healthy-2k",
+                      "2000-member healthy cluster: the large-cluster "
+                      "baseline (join storm, convergence, steady gossip)",
+                      "");
+    s.cluster_size = 2000;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::none();
+    s.quiesce = sec(30);
+    s.run_length = sec(20);
+    s.checks = check::Spec::all();
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("big-flapping-1k",
+                      "8 of 1000 members flap with 25 s stalls and 50 ms "
+                      "open windows (past the n=1000 suspicion floor of "
+                      "alpha*log10(n) ~ 15 s, so victims are detected)",
+                      "");
+    s.cluster_size = 1000;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::flapping(8, sec(25), msec(50));
+    s.quiesce = sec(25);
+    s.run_length = sec(50);
+    s.checks = check::Spec::all();
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("big-churn-2k",
+                      "4 of 2000 members crash and rejoin in 15 s-down / "
+                      "30 s-up cycles",
+                      "");
+    s.cluster_size = 2000;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::churn(4, sec(15), sec(30));
+    s.quiesce = sec(30);
+    s.run_length = sec(45);
+    s.checks = check::Spec::all();
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("big-partition-4k",
+                      "a 48-member island splits from a 4000-member cluster "
+                      "for 30 s, then heals",
+                      "");
+    s.cluster_size = 4000;
+    s.config = swim::Config::lifeguard();
+    s.anomaly = AnomalyPlan::partition(48, sec(30));
+    s.quiesce = sec(40);
+    s.run_length = sec(60);
+    s.checks = check::Spec::all();
+    reg.add(std::move(s));
+  }
+
   return reg;
 }
 

@@ -92,7 +92,7 @@ TimePoint UdpRuntime::now() const {
   return TimePoint{(steady_ns() - epoch_ns_) / 1000};
 }
 
-TimerId UdpRuntime::schedule(Duration delay, std::function<void()> fn) {
+TimerId UdpRuntime::schedule(Duration delay, Task fn) {
   if (delay < Duration{0}) delay = Duration{0};
   const TimerId id = next_timer_id_++;
   timers_.push(Timer{now() + delay, id, std::move(fn)});

@@ -53,7 +53,7 @@ class UdpRuntime final : public Runtime {
 
   // Runtime interface (loop thread only).
   TimePoint now() const override;
-  TimerId schedule(Duration delay, std::function<void()> fn) override;
+  TimerId schedule(Duration delay, Task fn) override;
   void cancel(TimerId id) override;
   void send(const Address& to, std::vector<std::uint8_t> payload,
             Channel channel) override;
@@ -63,7 +63,7 @@ class UdpRuntime final : public Runtime {
   struct Timer {
     TimePoint at;
     TimerId id;
-    std::function<void()> fn;
+    Task fn;
   };
   struct TimerLater {
     bool operator()(const Timer& a, const Timer& b) const {

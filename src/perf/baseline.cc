@@ -1,0 +1,314 @@
+#include "perf/baseline.h"
+
+#include <sys/resource.h>
+#include <sys/utsname.h>
+
+#include <cctype>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "harness/report.h"  // json_escape — one escaping rule set
+
+namespace lifeguard::perf {
+
+const Measurement* Baseline::find(const std::string& name) const {
+  for (const Measurement& m : entries) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::int64_t peak_rss_kb() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // KiB on Linux
+}
+
+std::string utc_timestamp() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm);
+  return buf;
+}
+
+std::string host_fingerprint() {
+  utsname u{};
+  if (uname(&u) != 0) return "unknown";
+  return std::string(u.sysname) + " " + u.release + " " + u.machine;
+}
+
+std::string build_fingerprint() {
+  std::string out;
+#if defined(__clang__)
+  out = "clang " + std::to_string(__clang_major__) + "." +
+        std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  out = "gcc " + std::to_string(__GNUC__) + "." +
+        std::to_string(__GNUC_MINOR__);
+#else
+  out = "unknown-compiler";
+#endif
+#if defined(NDEBUG)
+  out += ", NDEBUG";
+#else
+  out += ", assertions";
+#endif
+  return out;
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const Baseline& b) {
+  using harness::json_escape;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"suite\": \"" << json_escape(b.suite) << "\",\n";
+  os << "  \"created\": \"" << json_escape(b.created) << "\",\n";
+  os << "  \"host\": \"" << json_escape(b.host) << "\",\n";
+  os << "  \"build\": \"" << json_escape(b.build) << "\",\n";
+  os << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < b.entries.size(); ++i) {
+    const Measurement& m = b.entries[i];
+    os << "    {\"name\": \"" << json_escape(m.name) << "\", "
+       << "\"wall_s\": " << fmt(m.wall_s) << ", "
+       << "\"items_per_s\": " << fmt(m.items_per_s) << ", "
+       << "\"events_per_s\": " << fmt(m.events_per_s) << ", "
+       << "\"datagrams_per_s\": " << fmt(m.datagrams_per_s) << ", "
+       << "\"peak_rss_kb\": " << m.peak_rss_kb << ", "
+       << "\"iterations\": " << m.iterations << "}"
+       << (i + 1 < b.entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing — a minimal recursive scanner for this document shape (strings,
+// numbers, one array of flat objects). Same spirit as the trace codec:
+// tolerant of unknown keys, strict about structure.
+
+namespace {
+
+struct Scanner {
+  std::string_view s;
+  std::size_t i = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    error = msg + " at offset " + std::to_string(i);
+    return false;
+  }
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+
+  bool expect(char c) {
+    ws();
+    if (i >= s.size() || s[i] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++i;
+    return true;
+  }
+
+  bool peek(char c) {
+    ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  bool string(std::string& out) {
+    ws();
+    if (i >= s.size() || s[i] != '"') return fail("expected string");
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return fail("dangling escape");
+        const char esc = s[i++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;
+    return true;
+  }
+
+  bool number(double& out) {
+    ws();
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+    }
+    if (i == start) return fail("expected number");
+    try {
+      out = std::stod(std::string(s.substr(start, i - start)));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    return true;
+  }
+
+  /// Skip any scalar value (string or number) — unknown-key tolerance.
+  bool skip_scalar() {
+    ws();
+    if (i < s.size() && s[i] == '"') {
+      std::string tmp;
+      return string(tmp);
+    }
+    double tmp = 0;
+    return number(tmp);
+  }
+};
+
+bool parse_measurement(Scanner& sc, Measurement& m) {
+  if (!sc.expect('{')) return false;
+  if (sc.peek('}')) return sc.expect('}');
+  for (;;) {
+    std::string key;
+    if (!sc.string(key) || !sc.expect(':')) return false;
+    if (key == "name") {
+      if (!sc.string(m.name)) return false;
+    } else {
+      double v = 0;
+      if (key == "wall_s" || key == "items_per_s" || key == "events_per_s" ||
+          key == "datagrams_per_s" || key == "peak_rss_kb" ||
+          key == "iterations") {
+        if (!sc.number(v)) return false;
+        if (key == "wall_s") m.wall_s = v;
+        else if (key == "items_per_s") m.items_per_s = v;
+        else if (key == "events_per_s") m.events_per_s = v;
+        else if (key == "datagrams_per_s") m.datagrams_per_s = v;
+        else if (key == "peak_rss_kb") m.peak_rss_kb = static_cast<std::int64_t>(v);
+        else m.iterations = static_cast<std::int64_t>(v);
+      } else if (!sc.skip_scalar()) {
+        return false;
+      }
+    }
+    if (sc.peek(',')) {
+      if (!sc.expect(',')) return false;
+      continue;
+    }
+    return sc.expect('}');
+  }
+}
+
+}  // namespace
+
+std::optional<Baseline> from_json(const std::string& text,
+                                  std::string& error) {
+  Scanner sc{text, 0, {}};
+  Baseline b;
+  if (!sc.expect('{')) {
+    error = sc.error;
+    return std::nullopt;
+  }
+  for (;;) {
+    std::string key;
+    if (!sc.string(key) || !sc.expect(':')) {
+      error = sc.error;
+      return std::nullopt;
+    }
+    bool ok = true;
+    if (key == "suite") ok = sc.string(b.suite);
+    else if (key == "created") ok = sc.string(b.created);
+    else if (key == "host") ok = sc.string(b.host);
+    else if (key == "build") ok = sc.string(b.build);
+    else if (key == "entries") {
+      ok = sc.expect('[');
+      if (ok && !sc.peek(']')) {
+        for (;;) {
+          Measurement m;
+          if (!parse_measurement(sc, m)) {
+            ok = false;
+            break;
+          }
+          b.entries.push_back(std::move(m));
+          if (sc.peek(',')) {
+            if (!sc.expect(',')) { ok = false; break; }
+            continue;
+          }
+          break;
+        }
+      }
+      if (ok) ok = sc.expect(']');
+    } else {
+      ok = sc.skip_scalar();
+    }
+    if (!ok) {
+      error = sc.error;
+      return std::nullopt;
+    }
+    if (sc.peek(',')) {
+      if (!sc.expect(',')) {
+        error = sc.error;
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (!sc.expect('}')) {
+      error = sc.error;
+      return std::nullopt;
+    }
+    return b;
+  }
+}
+
+bool save_baseline_file(const Baseline& b, const std::string& path,
+                        std::string& error) {
+  std::ofstream out(path);
+  if (!out) {
+    error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << to_json(b);
+  if (!out) {
+    error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<Baseline> load_baseline_file(const std::string& path,
+                                           std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = from_json(buf.str(), error);
+  if (!parsed) error = path + ": " + error;
+  return parsed;
+}
+
+}  // namespace lifeguard::perf

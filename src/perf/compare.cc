@@ -1,0 +1,77 @@
+#include "perf/compare.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace lifeguard::perf {
+
+double primary_metric(const Measurement& m) {
+  if (m.items_per_s > 0.0) return m.items_per_s;
+  if (m.events_per_s > 0.0) return m.events_per_s;
+  if (m.wall_s > 0.0) return 1.0 / m.wall_s;
+  return 0.0;
+}
+
+CompareReport compare(const Baseline& old_b, const Baseline& new_b,
+                      double threshold_pct) {
+  CompareReport r;
+  r.threshold_pct = threshold_pct;
+  for (const Measurement& m : old_b.entries) {
+    const Measurement* n = new_b.find(m.name);
+    if (n == nullptr) {
+      r.only_in_old.push_back(m.name);
+      continue;
+    }
+    CaseDelta d;
+    d.name = m.name;
+    d.old_value = primary_metric(m);
+    d.new_value = primary_metric(*n);
+    d.change_pct = d.old_value > 0.0
+                       ? (d.new_value - d.old_value) / d.old_value * 100.0
+                       : 0.0;
+    d.regression = d.change_pct < -threshold_pct;
+    if (d.regression) {
+      r.worst_regression_pct = std::min(r.worst_regression_pct, d.change_pct);
+    }
+    r.deltas.push_back(std::move(d));
+  }
+  for (const Measurement& m : new_b.entries) {
+    if (old_b.find(m.name) == nullptr) r.only_in_new.push_back(m.name);
+  }
+  return r;
+}
+
+std::string format_report(const CompareReport& r) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-36s %14s %14s %9s\n", "case",
+                "old (items/s)", "new (items/s)", "change");
+  os << line;
+  for (const CaseDelta& d : r.deltas) {
+    std::snprintf(line, sizeof(line), "%-36s %14.4g %14.4g %+8.1f%%%s\n",
+                  d.name.c_str(), d.old_value, d.new_value, d.change_pct,
+                  d.regression ? "  <-- REGRESSION" : "");
+    os << line;
+  }
+  for (const std::string& name : r.only_in_old) {
+    os << name << ": missing from the new baseline\n";
+  }
+  for (const std::string& name : r.only_in_new) {
+    os << name << ": new case (no old measurement)\n";
+  }
+  if (r.has_regression()) {
+    std::snprintf(line, sizeof(line),
+                  "worst regression %.1f%% exceeds the %.1f%% threshold\n",
+                  r.worst_regression_pct, r.threshold_pct);
+    os << line;
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "no regression beyond the %.1f%% threshold\n",
+                  r.threshold_pct);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace lifeguard::perf

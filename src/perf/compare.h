@@ -1,0 +1,49 @@
+// perf::compare — diff two benchmark baselines and flag regressions.
+//
+// The primary metric per case is its throughput (items_per_s, falling back
+// to events_per_s, falling back to 1/wall_s), so "change" is uniformly
+// higher-is-better. A case regresses when its new throughput falls more
+// than `threshold_pct` below the old one. CI runs this as a soft gate
+// (report-only) against the committed BENCH_*.json; developers run it as a
+// hard gate (nonzero exit) before updating a baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/baseline.h"
+
+namespace lifeguard::perf {
+
+struct CaseDelta {
+  std::string name;
+  double old_value = 0.0;  ///< primary throughput in the old baseline
+  double new_value = 0.0;  ///< primary throughput in the new baseline
+  /// (new - old) / old * 100; positive = faster.
+  double change_pct = 0.0;
+  bool regression = false;
+};
+
+struct CompareReport {
+  double threshold_pct = 0.0;
+  std::vector<CaseDelta> deltas;            ///< cases present in both
+  std::vector<std::string> only_in_old;     ///< dropped cases
+  std::vector<std::string> only_in_new;     ///< added cases
+  /// Most negative change among regressions; 0 when none regressed.
+  double worst_regression_pct = 0.0;
+
+  bool has_regression() const { return worst_regression_pct < 0.0; }
+};
+
+/// The case's uniform higher-is-better metric.
+double primary_metric(const Measurement& m);
+
+/// Diff `new_b` against `old_b` with the given regression threshold
+/// (percent, e.g. 10.0 = fail on >10% throughput loss).
+CompareReport compare(const Baseline& old_b, const Baseline& new_b,
+                      double threshold_pct);
+
+/// Human-readable table of the report (one line per case).
+std::string format_report(const CompareReport& r);
+
+}  // namespace lifeguard::perf

@@ -1,0 +1,56 @@
+// perf::Suite — the uniform benchmark harness behind bench_runner.
+//
+// Suites group benchmark cases behind stable names ("micro" = component
+// hot paths, "sim" = whole-simulator throughput including the large-n
+// tier), each case producing one Measurement. Suite::run() executes a suite
+// and assembles a Baseline (baseline.h) ready for --json emission and
+// perf::compare gating. Everything is deterministic work measured with a
+// wall clock — rates vary with the machine, which is exactly what a
+// baseline records (its host/build metadata says where it was measured).
+//
+// The google-benchmark micro_* binaries remain for interactive exploration;
+// this layer is the scriptable, artifact-producing path CI and the
+// committed BENCH_*.json baselines use.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "perf/baseline.h"
+
+namespace lifeguard::perf {
+
+struct SuiteOptions {
+  /// Shrink per-case work (CI smoke mode): micro cases time-box tighter,
+  /// simulator cases run fewer virtual seconds and skip the largest n.
+  bool quick = false;
+  /// Minimum measured time per micro case, seconds.
+  double min_time_s = 0.3;
+};
+
+/// One benchmark case: fn runs the workload and reports its rates.
+struct BenchCase {
+  std::string name;
+  std::string summary;
+  std::function<Measurement(const SuiteOptions&)> fn;
+  /// Skipped in --quick mode (the big simulator cases).
+  bool heavy = false;
+};
+
+class Suite {
+ public:
+  /// Registered suite names, stable CLI vocabulary.
+  static std::vector<std::string> names();
+  /// The cases of one suite; empty when the name is unknown.
+  static const std::vector<BenchCase>* find(std::string_view suite);
+  /// Run a whole suite. `progress` (may be null) receives one line per
+  /// case as it completes.
+  static Baseline run(std::string_view suite, const SuiteOptions& opt,
+                      std::FILE* progress);
+};
+
+}  // namespace lifeguard::perf

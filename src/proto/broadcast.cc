@@ -15,11 +15,18 @@ int retransmit_limit(int retransmit_mult, int n) {
 void BroadcastQueue::queue(const std::string& member,
                            std::vector<std::uint8_t> frame) {
   invalidate(member);
-  entries_.push_back(Entry{member, std::move(frame), 0, next_id_++});
+  const Rank rank{0, next_id_++};
+  min_frame_size_ = std::min(min_frame_size_, frame.size());
+  entries_.emplace(rank, Entry{member, std::move(frame)});
+  by_key_.emplace(member, rank);
 }
 
 void BroadcastQueue::invalidate(const std::string& member) {
-  std::erase_if(entries_, [&](const Entry& e) { return e.key == member; });
+  const auto it = by_key_.find(member);
+  if (it == by_key_.end()) return;
+  entries_.erase(it->second);
+  by_key_.erase(it);
+  if (entries_.empty()) min_frame_size_ = SIZE_MAX;
 }
 
 std::vector<std::vector<std::uint8_t>> BroadcastQueue::get_broadcasts(
@@ -27,34 +34,47 @@ std::vector<std::vector<std::uint8_t>> BroadcastQueue::get_broadcasts(
   std::vector<std::vector<std::uint8_t>> out;
   if (entries_.empty()) return out;
 
-  // Fewest transmits first; ties broken newest-first.
-  std::stable_sort(entries_.begin(), entries_.end(),
-                   [](const Entry& a, const Entry& b) {
-                     if (a.transmits != b.transmits)
-                       return a.transmits < b.transmits;
-                     return a.enqueue_id > b.enqueue_id;
-                   });
-
   const int limit = retransmit_limit(retransmit_mult_, n);
   std::size_t used = 0;
-  std::vector<std::size_t> done;  // indices that reached their limit
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    Entry& e = entries_[i];
+  // No queued frame can cost less than the smallest ever queued; once even
+  // that cannot fit, every remaining entry would be skipped too, so stop
+  // scanning. During a join storm (queues holding O(n) updates, budget full
+  // after a few dozen frames) this turns a per-message O(n) walk into
+  // O(selected). Selection is unchanged: the bound never exceeds any
+  // remaining frame's true cost.
+  const std::size_t lb_size = min_frame_size_ == SIZE_MAX ? 0 : min_frame_size_;
+  const std::size_t min_cost = lb_size + per_frame_overhead_base +
+                               compound_frame_overhead(lb_size);
+  // Entries iterate in selection order (fewest transmits, then newest).
+  // Rank bumps for selected entries are applied after the scan — exactly
+  // like the old sorted-vector walk, whose in-loop ++transmits never
+  // re-sorted the current pass either.
+  std::vector<std::map<Rank, Entry, RankLess>::iterator> selected;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (used + min_cost > byte_budget) break;  // nothing more can fit
+    const Entry& e = it->second;
     const std::size_t cost =
         e.frame.size() + per_frame_overhead_base +
         compound_frame_overhead(e.frame.size());
     if (used + cost > byte_budget) continue;  // try smaller later frames
     used += cost;
     out.push_back(e.frame);
-    ++e.transmits;
     ++total_transmits_;
-    max_transmits_ = std::max(max_transmits_, e.transmits);
-    if (e.transmits >= limit) done.push_back(i);
+    max_transmits_ = std::max(max_transmits_, it->first.transmits + 1);
+    selected.push_back(it);
   }
-  // Remove exhausted entries (reverse order keeps indices valid).
-  for (auto it = done.rbegin(); it != done.rend(); ++it) {
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*it));
+  for (auto it : selected) {
+    const Rank bumped{it->first.transmits + 1, it->first.enqueue_id};
+    auto node = entries_.extract(it);
+    if (bumped.transmits >= limit) {
+      by_key_.erase(node.mapped().key);  // reached its retransmit limit
+      continue;
+    }
+    by_key_[node.mapped().key] = bumped;
+    node.key() = bumped;
+    entries_.insert(std::move(node));
   }
+  if (entries_.empty()) min_frame_size_ = SIZE_MAX;
   return out;
 }
 

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
+#include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace lifeguard::proto {
@@ -55,15 +57,36 @@ class BroadcastQueue {
   struct Entry {
     std::string key;
     std::vector<std::uint8_t> frame;
+  };
+  /// Selection rank: fewest transmits first, then newest (largest enqueue
+  /// id) first. (transmits, enqueue_id) pairs are unique, so this is a total
+  /// order — keeping entries in a map sorted by it replaces the old
+  /// stable_sort-per-get_broadcasts (and the O(queue) erase_if per queue())
+  /// with O(log m) updates, selecting the exact same frames in the exact
+  /// same order.
+  struct Rank {
     int transmits = 0;
     std::uint64_t enqueue_id = 0;  // newer = larger
+  };
+  struct RankLess {
+    bool operator()(const Rank& a, const Rank& b) const {
+      if (a.transmits != b.transmits) return a.transmits < b.transmits;
+      return a.enqueue_id > b.enqueue_id;
+    }
   };
 
   int retransmit_mult_;
   std::uint64_t next_id_ = 1;
   std::int64_t total_transmits_ = 0;
   int max_transmits_ = 0;
-  std::vector<Entry> entries_;
+  /// Lower bound on the smallest queued frame size (never raised while the
+  /// queue is non-empty; reset when it drains). Lets get_broadcasts stop
+  /// scanning once no conceivable frame fits the remaining budget.
+  std::size_t min_frame_size_ = SIZE_MAX;
+  std::map<Rank, Entry, RankLess> entries_;
+  /// Member key → current rank (entries are unique per key: queue()
+  /// invalidates before inserting).
+  std::unordered_map<std::string, Rank> by_key_;
 };
 
 }  // namespace lifeguard::proto

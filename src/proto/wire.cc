@@ -218,8 +218,17 @@ std::optional<Message> decode(BufReader& r) {
 
 std::vector<std::uint8_t> pack_compound(
     const std::vector<std::vector<std::uint8_t>>& frames) {
-  if (frames.size() == 1) return frames.front();
-  BufWriter w(32);
+  return pack_compound(frames, {});
+}
+
+std::vector<std::uint8_t> pack_compound(
+    const std::vector<std::vector<std::uint8_t>>& frames,
+    std::vector<std::uint8_t> reuse) {
+  if (frames.size() == 1) {
+    reuse.assign(frames.front().begin(), frames.front().end());
+    return reuse;
+  }
+  BufWriter w(std::move(reuse));
   w.u8(static_cast<std::uint8_t>(MsgType::kCompound));
   w.u16(static_cast<std::uint16_t>(frames.size()));
   for (const auto& f : frames) {

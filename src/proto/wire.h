@@ -132,6 +132,13 @@ std::optional<Message> decode(BufReader& r);
 std::vector<std::uint8_t> pack_compound(
     const std::vector<std::vector<std::uint8_t>>& frames);
 
+/// As above, but assembles the datagram in `reuse`'s storage (cleared
+/// first). Pass Runtime::acquire_buffer() to recycle delivered-datagram
+/// capacity instead of allocating per packet.
+std::vector<std::uint8_t> pack_compound(
+    const std::vector<std::vector<std::uint8_t>>& frames,
+    std::vector<std::uint8_t> reuse);
+
 /// Splits a datagram into message frames. A non-compound datagram yields one
 /// frame. Returns false on malformed input.
 bool unpack_compound(std::span<const std::uint8_t> datagram,

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/task.h"
 #include "common/types.h"
 
 namespace lifeguard {
@@ -30,8 +30,10 @@ class Runtime {
 
   /// Run `fn` once after `delay`. Returns a handle usable with cancel().
   /// Scheduling with a non-positive delay fires on the next dispatch step,
-  /// never synchronously (re-entrancy safety).
-  virtual TimerId schedule(Duration delay, std::function<void()> fn) = 0;
+  /// never synchronously (re-entrancy safety). Task (common/task.h) accepts
+  /// any void() callable, move-only ones included, and keeps typical timer
+  /// captures inline — the simulator schedules millions of these.
+  virtual TimerId schedule(Duration delay, Task fn) = 0;
 
   /// Cancel a pending timer. Cancelling an already-fired or invalid handle is
   /// a no-op.
@@ -45,6 +47,13 @@ class Runtime {
 
   /// Deterministic per-node random source.
   virtual Rng& rng() = 0;
+
+  /// An empty byte buffer to build the next outbound datagram in. Runtimes
+  /// with a recycling pool (the simulator) return spent delivery buffers
+  /// here so steady-state messaging allocates nothing; the default is a
+  /// fresh vector. Purely a capacity hint — contents and semantics of the
+  /// buffer are the caller's.
+  virtual std::vector<std::uint8_t> acquire_buffer() { return {}; }
 
   /// True while an injected anomaly is blocking this node's message I/O.
   /// The simulator uses this to model the paper's blocked send/recv

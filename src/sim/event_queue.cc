@@ -4,47 +4,89 @@
 
 namespace lifeguard::sim {
 
-std::uint64_t EventQueue::push(TimePoint at, std::function<void()> fn) {
-  const std::uint64_t id = next_seq_++;
-  heap_.push(Ev{at, id, std::move(fn)});
-  return id;
+// Handles pack (slot index + 1) in the high 32 bits and the slot's
+// generation in the low 32: never 0, O(1) to validate, and stale after the
+// slot is vacated (generation bump) no matter how the slot is reused.
+namespace {
+
+constexpr std::uint64_t make_handle(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+}
+
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_slots_.empty()) {
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t index = free_slots_.back();
+  free_slots_.pop_back();
+  return index;
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.fn.reset();  // release captures now, not when the heap entry surfaces
+  s.seq = 0;
+  ++s.gen;
+  free_slots_.push_back(index);
+}
+
+std::uint64_t EventQueue::push(TimePoint at, Task fn) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  heap_.push(Entry{at, s.seq, slot});
+  ++live_;
+  return make_handle(slot, s.gen);
 }
 
 void EventQueue::cancel(std::uint64_t id) {
-  if (id == 0 || id >= next_seq_) return;
-  cancelled_.insert(id);
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return;
+  const auto slot = static_cast<std::uint32_t>(hi - 1);
+  Slot& s = slots_[slot];
+  if (s.seq == 0 || s.gen != static_cast<std::uint32_t>(id)) return;
+  release_slot(slot);  // the heap entry becomes stale and is dropped at pop
+  --live_;
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+void EventQueue::drop_stale_top() {
+  while (!heap_.empty() && slots_[heap_.top().slot].seq != heap_.top().seq) {
     heap_.pop();
   }
 }
 
-bool EventQueue::empty() {
-  drop_cancelled_top();
-  return heap_.empty();
-}
-
 TimePoint EventQueue::next_time() {
-  drop_cancelled_top();
+  drop_stale_top();
   return heap_.top().at;
 }
 
-bool EventQueue::run_next(TimePoint& now) {
-  drop_cancelled_top();
-  if (heap_.empty()) return false;
-  // Move the closure out before popping; run after popping so the handler
-  // can push new events freely.
-  auto fn = std::move(const_cast<Ev&>(heap_.top()).fn);
-  now = heap_.top().at;
+bool EventQueue::fire(Entry top, TimePoint& now) {
+  // Move the callable out and free the slot before running: the handler may
+  // push new events (possibly reusing this very slot) freely.
+  Task fn = std::move(slots_[top.slot].fn);
+  now = top.at;
+  release_slot(top.slot);
+  --live_;
   heap_.pop();
   ++executed_;
   fn();
   return true;
+}
+
+bool EventQueue::run_next(TimePoint& now) {
+  drop_stale_top();
+  if (heap_.empty()) return false;
+  return fire(heap_.top(), now);
+}
+
+bool EventQueue::run_next_until(TimePoint limit, TimePoint& now) {
+  drop_stale_top();
+  if (heap_.empty() || heap_.top().at > limit) return false;
+  return fire(heap_.top(), now);
 }
 
 }  // namespace lifeguard::sim

@@ -1,16 +1,21 @@
 // Discrete-event queue: the simulator's clock and scheduler.
 //
 // Events fire in (time, insertion-sequence) order, so same-timestamp events
-// run FIFO and runs are bit-reproducible. Cancellation is lazy (tombstone
-// set) — O(1) cancel, skipped at pop.
+// run FIFO and runs are bit-reproducible. Storage is an intrusive slot pool
+// with generation-counted handles: the heap orders lightweight 24-byte
+// entries while the callables (Task — no per-event allocation for captures
+// up to Task::kInlineSize) live in reusable slots. cancel() is O(1), frees
+// the callable's captures immediately, and is an exact no-op for handles
+// whose event already fired or was already cancelled — pending() never
+// drifts (the old tombstone-set design under-counted after a cancel of a
+// fired handle; see tests/sim/event_queue_test.cc).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/task.h"
 #include "common/types.h"
 
 namespace lifeguard::sim {
@@ -18,37 +23,57 @@ namespace lifeguard::sim {
 class EventQueue {
  public:
   /// Schedule `fn` at absolute time `at`. Returns a handle (never 0).
-  std::uint64_t push(TimePoint at, std::function<void()> fn);
-  /// Tombstone a pending event. Unknown/fired handles are ignored.
+  std::uint64_t push(TimePoint at, Task fn);
+  /// Cancel a pending event and release its captures. Handles that are
+  /// unknown, already fired, or already cancelled are ignored exactly.
   void cancel(std::uint64_t id);
 
-  bool empty();
+  bool empty() const { return live_ == 0; }
   /// Timestamp of the next live event; queue must not be empty.
   TimePoint next_time();
   /// Pop and run the next live event, advancing `now` to its timestamp.
   /// Returns false when the queue is empty.
   bool run_next(TimePoint& now);
+  /// run_next, but only when the next live event is due at or before
+  /// `limit` — the simulator's run_until loop in one heap inspection.
+  bool run_next_until(TimePoint limit, TimePoint& now);
 
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  /// Exact number of scheduled-but-unfired events.
+  std::size_t pending() const { return live_; }
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Ev {
+  /// Heap entry: ordering key plus the slot holding the callable. `seq`
+  /// doubles as the staleness check — a cancelled slot is freed (and maybe
+  /// reused) immediately, and its orphaned heap entry no longer matches.
+  struct Entry {
     TimePoint at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Ev& a, const Ev& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
+  /// One pooled event record. `gen` is bumped every time the slot is
+  /// vacated, invalidating outstanding handles to prior occupants.
+  struct Slot {
+    Task fn;
+    std::uint64_t seq = 0;  ///< seq of the current occupant; 0 when free
+    std::uint32_t gen = 0;
+  };
 
-  void drop_cancelled_top();
+  void drop_stale_top();
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  bool fire(Entry top, TimePoint& now);
 
-  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
 };

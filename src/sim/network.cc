@@ -15,7 +15,7 @@ Duration Network::sample_link_latency(int from_node, int to_node, Channel ch) {
   if (active_overlays_ == 0) return d;  // fast path: zero extra draws
   for (int node : {from_node, to_node}) {
     const auto i = static_cast<std::size_t>(node);
-    if (i >= faults_.size()) continue;
+    if (i >= faults_.size() || overlay_on_[i] == 0) continue;
     const LinkFault& f = faults_[i].effective;
     d += f.extra_latency;
     if (f.jitter > Duration{0}) {
@@ -37,7 +37,8 @@ bool Network::should_drop(int from_node, int to_node, Channel ch) {
     metrics_.counter("net.dropped.partition").add();
     return true;
   }
-  if (ch == Channel::kUdp && active_overlays_ > 0) {
+  if (ch == Channel::kUdp && active_overlays_ > 0 &&
+      (overlay_on_[f] | overlay_on_[t]) != 0) {
     const double egress = faults_[f].effective.egress_loss;
     const double ingress = faults_[t].effective.ingress_loss;
     if ((egress > 0.0 && rng_.chance(egress)) ||
@@ -58,6 +59,7 @@ bool Network::should_duplicate(int from_node, int to_node) {
   const auto f = static_cast<std::size_t>(from_node);
   const auto t = static_cast<std::size_t>(to_node);
   if (f >= faults_.size() || t >= faults_.size()) return false;
+  if ((overlay_on_[f] | overlay_on_[t]) == 0) return false;
   const double a = faults_[f].effective.duplicate_p;
   const double b = faults_[t].effective.duplicate_p;
   const double p = 1.0 - (1.0 - a) * (1.0 - b);
@@ -100,6 +102,7 @@ int Network::add_link_fault(int node, const LinkFault& f) {
   const int token = next_token_++;
   faults_[i].overlays.emplace_back(token, f);
   recombine(faults_[i]);
+  overlay_on_[i] = 1;
   ++active_overlays_;
   return token;
 }
@@ -112,6 +115,7 @@ void Network::remove_link_fault(int node, int token) {
     if (it->first == token) {
       overlays.erase(it);
       recombine(faults_[i]);
+      overlay_on_[i] = overlays.empty() ? 0 : 1;
       --active_overlays_;
       return;
     }
@@ -123,6 +127,7 @@ void Network::clear_link_faults() {
     nf.overlays.clear();
     nf.effective = LinkFault{};
   }
+  std::fill(overlay_on_.begin(), overlay_on_.end(), 0);
   active_overlays_ = 0;
 }
 

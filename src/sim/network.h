@@ -60,7 +60,8 @@ class Network {
  public:
   Network(NetworkParams params, int num_nodes, Rng rng)
       : params_(params), groups_(static_cast<std::size_t>(num_nodes), 0),
-        faults_(static_cast<std::size_t>(num_nodes)), rng_(rng) {}
+        faults_(static_cast<std::size_t>(num_nodes)),
+        overlay_on_(static_cast<std::size_t>(num_nodes), 0), rng_(rng) {}
 
   /// Sample a one-way delivery latency from the base distribution only.
   Duration sample_latency();
@@ -114,6 +115,10 @@ class Network {
   NetworkParams params_;
   std::vector<int> groups_;
   std::vector<NodeFaults> faults_;
+  /// Per-node overlay index (0/1): lets the per-datagram queries skip the
+  /// combined-overlay reads entirely for nodes no fault touches, so a mostly
+  /// healthy large cluster pays nothing for a fault on a few victims.
+  std::vector<std::uint8_t> overlay_on_;
   int active_overlays_ = 0;
   int next_token_ = 1;
   Rng rng_;

@@ -23,7 +23,7 @@ void SimRuntime::attach(PacketHandler* handler,
 
 TimePoint SimRuntime::now() const { return sim_.now(); }
 
-TimerId SimRuntime::schedule(Duration delay, std::function<void()> fn) {
+TimerId SimRuntime::schedule(Duration delay, Task fn) {
   if (delay < Duration{0}) delay = Duration{0};
   return sim_.queue().push(sim_.now() + delay, std::move(fn));
 }
@@ -40,11 +40,17 @@ void SimRuntime::send(const Address& to, std::vector<std::uint8_t> payload,
   sim_.route(node_, to, std::move(payload), channel);
 }
 
+std::vector<std::uint8_t> SimRuntime::acquire_buffer() {
+  return sim_.acquire_buffer();
+}
+
 void SimRuntime::deliver(const Address& from,
                          std::vector<std::uint8_t> payload, Channel channel) {
   if (!blocked_ && pending_in_.empty()) {
-    // Healthy fast path: no backlog, process immediately.
+    // Healthy fast path: no backlog, process immediately; the spent buffer's
+    // capacity feeds the next outbound datagram.
     if (handler_ != nullptr) handler_->on_packet(from, payload, channel);
+    sim_.recycle_buffer(std::move(payload));
     return;
   }
   // Either blocked (process not reading) or a backlog exists (FIFO order
@@ -76,6 +82,7 @@ void SimRuntime::drain_one() {
   pending_in_.pop_front();
   pending_in_bytes_ -= p.payload.size();
   if (handler_ != nullptr) handler_->on_packet(p.peer, p.payload, p.channel);
+  sim_.recycle_buffer(std::move(p.payload));
   schedule_drain();
 }
 

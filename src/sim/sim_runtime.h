@@ -42,12 +42,13 @@ class SimRuntime final : public Runtime {
 
   // Runtime interface.
   TimePoint now() const override;
-  TimerId schedule(Duration delay, std::function<void()> fn) override;
+  TimerId schedule(Duration delay, Task fn) override;
   void cancel(TimerId id) override;
   void send(const Address& to, std::vector<std::uint8_t> payload,
             Channel channel) override;
   Rng& rng() override { return rng_; }
   bool blocked() const override { return blocked_; }
+  std::vector<std::uint8_t> acquire_buffer() override;
 
   // Simulator-facing.
   void attach(PacketHandler* handler, std::function<void()> on_unblock);

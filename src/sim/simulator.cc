@@ -9,7 +9,8 @@ Address sim_address(int node_index) {
 }
 
 Simulator::Simulator(int num_nodes, const swim::Config& cfg, SimParams params)
-    : rng_(params.seed), cfg_(cfg) {
+    : rng_(params.seed), cfg_(cfg),
+      record_failures_only_(params.record_failures_only) {
   network_ = std::make_unique<Network>(params.network, num_nodes, rng_.fork());
   runtimes_.reserve(static_cast<std::size_t>(num_nodes));
   listeners_.reserve(static_cast<std::size_t>(num_nodes));
@@ -33,10 +34,15 @@ void Simulator::attach_node(int index) {
   swim::Node* node = nodes_[i].get();
   swim::RecordingListener* rec = listeners_[i].get();
   swim::EventBus* bus = &bus_;
-  subscriptions_[i] = node->subscribe([rec, bus](const swim::MemberEvent& e) {
-    rec->on_event(e);
-    bus->publish(e);
-  });
+  // When record_failures_only_ is set, retain only failure declarations
+  // (all the harness's metric extraction reads); the bus always sees the
+  // full stream.
+  const bool all = !record_failures_only_;
+  subscriptions_[i] =
+      node->subscribe([rec, bus, all](const swim::MemberEvent& e) {
+        if (all || e.type == swim::EventType::kFailed) rec->on_event(e);
+        bus->publish(e);
+      });
   runtimes_[i]->attach(node, [node] { node->on_unblocked(); });
 }
 
@@ -59,8 +65,7 @@ void Simulator::start_all() {
 }
 
 void Simulator::run_until(TimePoint t) {
-  while (!queue_.empty() && queue_.next_time() <= t) {
-    queue_.run_next(now_);
+  while (queue_.run_next_until(t, now_)) {
   }
   if (now_ < t) now_ = t;
 }
@@ -111,9 +116,7 @@ void Simulator::restart_node(int index) {
   if (index != 0) nodes_[i]->join({sim_address(0)});
 }
 
-void Simulator::at(TimePoint t, std::function<void()> fn) {
-  queue_.push(t, std::move(fn));
-}
+void Simulator::at(TimePoint t, Task fn) { queue_.push(t, std::move(fn)); }
 
 int Simulator::add_sim_tap(SimTap fn) {
   const int token = next_tap_token_++;
@@ -151,23 +154,47 @@ void Simulator::route(int from_node, const Address& to,
                          network_->should_duplicate(from_node, target);
   SimRuntime* rt = runtimes_[static_cast<std::size_t>(target)].get();
   const Address from = sim_address(from_node);
-  std::shared_ptr<std::vector<std::uint8_t>> copy;
-  if (duplicate) copy = std::make_shared<std::vector<std::uint8_t>>(payload);
-  // The payload is moved into the delivery closure; shared_ptr keeps the
-  // closure copyable for std::function.
-  auto data = std::make_shared<std::vector<std::uint8_t>>(std::move(payload));
-  queue_.push(now_ + latency, [rt, from, data, channel] {
-    rt->deliver(from, std::move(*data), channel);
-  });
+  std::vector<std::uint8_t> copy;
+  if (duplicate) {
+    copy = acquire_buffer();
+    copy.assign(payload.begin(), payload.end());
+  }
+  // Task is move-only, so the delivery closure owns its payload outright and
+  // stays within Task's inline capture buffer: no allocation per datagram.
+  queue_.push(now_ + latency,
+              [rt, from, p = std::move(payload), channel]() mutable {
+                rt->deliver(from, std::move(p), channel);
+              });
   if (duplicate) {
     const Duration dup_latency =
         network_->sample_link_latency(from_node, target, channel);
     ++datagrams_routed_;
     note(SimEventKind::kDatagram, from_node, target);
-    queue_.push(now_ + dup_latency, [rt, from, copy, channel] {
-      rt->deliver(from, std::move(*copy), channel);
-    });
+    queue_.push(now_ + dup_latency,
+                [rt, from, p = std::move(copy), channel]() mutable {
+                  rt->deliver(from, std::move(p), channel);
+                });
   }
+}
+
+std::vector<std::uint8_t> Simulator::acquire_buffer() {
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void Simulator::recycle_buffer(std::vector<std::uint8_t>&& buf) {
+  // Bound both directions of pool growth: drop oversized buffers (push-pull
+  // state of a huge cluster) and stop hoarding past a fixed pool size.
+  constexpr std::size_t kMaxPooledCapacity = 16 * 1024;
+  constexpr std::size_t kMaxPooledBuffers = 1024;
+  if (buf.capacity() == 0 || buf.capacity() > kMaxPooledCapacity ||
+      buffer_pool_.size() >= kMaxPooledBuffers) {
+    return;
+  }
+  buffer_pool_.push_back(std::move(buf));
 }
 
 int Simulator::index_of(const Address& addr) const {

@@ -44,6 +44,13 @@ struct SimEvent {
 struct SimParams {
   NetworkParams network;
   std::uint64_t seed = 1;
+  /// Record only failure declarations (EventType::kFailed) in the per-node
+  /// RecordingListeners instead of every membership transition. The harness
+  /// engine enables this: its metric extraction reads only failure events,
+  /// so results are bit-identical, while a large cluster's O(n²) join storm
+  /// no longer materializes as retained MemberEvent records. The EventBus
+  /// stream (checking layer, traces) is unaffected.
+  bool record_failures_only = false;
   /// Virtual CPU cost of handling one inbound message once a backlog exists
   /// (see SimRuntime). The anomaly instrumentation blocks I/O, not the CPU,
   /// so an agent in an open window runs at full speed — a few microseconds
@@ -117,7 +124,7 @@ class Simulator {
   EventQueue& queue() { return queue_; }
   Rng& rng() { return rng_; }
   /// Schedule an experiment-control callback at absolute time `t`.
-  void at(TimePoint t, std::function<void()> fn);
+  void at(TimePoint t, Task fn);
 
   // ---- simulator-event taps (checking layer) ----
   /// Attach an observer for every SimEvent; returns a token for
@@ -141,6 +148,16 @@ class Simulator {
   void route(int from_node, const Address& to,
              std::vector<std::uint8_t> payload, Channel channel);
 
+  // ---- datagram buffer pool ----
+  // Delivered payload buffers cycle back through the pool and are handed
+  // out again for the next outbound datagram (Runtime::acquire_buffer), so
+  // steady-state routing allocates nothing. Pure capacity reuse: datagram
+  // contents, Rng draws and event ordering are untouched.
+  /// A cleared buffer with recycled capacity (empty when the pool is dry).
+  std::vector<std::uint8_t> acquire_buffer();
+  /// Return a spent buffer's capacity to the pool.
+  void recycle_buffer(std::vector<std::uint8_t>&& buf);
+
  private:
   int index_of(const Address& addr) const;
 
@@ -163,6 +180,8 @@ class Simulator {
   /// Metrics of node incarnations retired by restart_node.
   Metrics retired_metrics_;
   std::int64_t datagrams_routed_ = 0;
+  bool record_failures_only_ = false;
+  std::vector<std::vector<std::uint8_t>> buffer_pool_;
 };
 
 }  // namespace lifeguard::sim

@@ -21,14 +21,6 @@ bool MembershipTable::contains(const std::string& name) const {
   return members_.contains(name);
 }
 
-int MembershipTable::num_active() const {
-  int n = 0;
-  for (const auto& [_, m] : members_) {
-    if (is_active(m.state)) ++n;
-  }
-  return n;
-}
-
 std::vector<const Member*> MembershipTable::all() const {
   std::vector<const Member*> out;
   out.reserve(members_.size());
@@ -38,26 +30,33 @@ std::vector<const Member*> MembershipTable::all() const {
 
 Member& MembershipTable::add(Member m, Rng& rng) {
   auto [it, inserted] = members_.emplace(m.name, std::move(m));
+  if (inserted && is_active(it->second.state)) ++active_;
   if (inserted && it->first != self_) {
     // Random-position insertion keeps expected first-detection latency equal
     // to uniform random selection (paper §III-A).
     const std::size_t pos =
         static_cast<std::size_t>(rng.uniform(probe_order_.size() + 1));
     probe_order_.insert(probe_order_.begin() + static_cast<std::ptrdiff_t>(pos),
-                        it->first);
+                        &it->first);
     if (pos < probe_index_) ++probe_index_;
   }
   return it->second;
 }
 
 void MembershipTable::set_state(Member& m, MemberState s, TimePoint now) {
+  active_ += static_cast<int>(is_active(s)) - static_cast<int>(is_active(m.state));
   m.state = s;
   m.state_change = now;
 }
 
 void MembershipTable::remove(const std::string& name) {
-  members_.erase(name);
-  std::erase(probe_order_, name);
+  const auto it = members_.find(name);
+  if (it == members_.end()) return;
+  if (is_active(it->second.state)) --active_;
+  // Probe entries point at the stored key: drop them before the member.
+  std::erase_if(probe_order_,
+                [&](const std::string* p) { return *p == name; });
+  members_.erase(it);
   if (probe_index_ > probe_order_.size()) probe_index_ = 0;
 }
 
@@ -71,36 +70,11 @@ Member* MembershipTable::next_probe_target(Rng& rng) {
       probe_index_ = 0;
       if (probe_order_.empty()) return nullptr;
     }
-    const std::string& name = probe_order_[probe_index_++];
+    const std::string& name = *probe_order_[probe_index_++];
     Member* m = find(name);
     if (m != nullptr && m->name != self_ && is_active(m->state)) return m;
   }
   return nullptr;
-}
-
-std::vector<Member*> MembershipTable::random_members(
-    int k, Rng& rng, const std::vector<std::string>& exclude,
-    const std::function<bool(const Member&)>& pred) {
-  std::vector<Member*> candidates;
-  candidates.reserve(members_.size());
-  for (auto& [name, m] : members_) {
-    if (name == self_) continue;
-    if (std::find(exclude.begin(), exclude.end(), name) != exclude.end())
-      continue;
-    if (pred(m)) candidates.push_back(&m);
-  }
-  // Partial Fisher–Yates: uniform k-subset in O(k) swaps.
-  std::vector<Member*> out;
-  const int want = std::min<int>(k, static_cast<int>(candidates.size()));
-  out.reserve(static_cast<std::size_t>(std::max(want, 0)));
-  for (int i = 0; i < want; ++i) {
-    const auto j = static_cast<std::size_t>(i) +
-                   static_cast<std::size_t>(
-                       rng.uniform(candidates.size() - static_cast<std::size_t>(i)));
-    std::swap(candidates[static_cast<std::size_t>(i)], candidates[j]);
-    out.push_back(candidates[static_cast<std::size_t>(i)]);
-  }
-  return out;
 }
 
 std::vector<Member*> MembershipTable::random_active(

@@ -7,6 +7,7 @@
 // first-detection latency while preserving the expected-case analysis.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <string>
@@ -33,7 +34,10 @@ class MembershipTable {
 
   /// Number of known members in active states (alive or suspect), including
   /// self. This is the `n` used for gossip retransmit and suspicion scaling.
-  int num_active() const;
+  /// O(1): maintained incrementally by add/set_state/remove — the piggyback
+  /// path asks on every outbound message, and a per-message O(n) scan was
+  /// the simulator's single largest cost at cluster sizes ≥ 512.
+  int num_active() const { return active_; }
   /// All known members (any state), unspecified order.
   std::vector<const Member*> all() const;
   std::size_t size() const { return members_.size(); }
@@ -56,10 +60,36 @@ class MembershipTable {
 
   // ---- random selection ----
   /// Up to `k` distinct members satisfying `pred`, chosen uniformly,
-  /// excluding self and any name in `exclude`.
-  std::vector<Member*> random_members(
-      int k, Rng& rng, const std::vector<std::string>& exclude,
-      const std::function<bool(const Member&)>& pred);
+  /// excluding self and any name in `exclude`. Templated so hot-path
+  /// predicates (called once per member per selection) inline instead of
+  /// paying a std::function dispatch; candidate order and Rng draws are
+  /// identical for any predicate representation.
+  template <typename Pred>
+  std::vector<Member*> random_members(int k, Rng& rng,
+                                      const std::vector<std::string>& exclude,
+                                      const Pred& pred) {
+    std::vector<Member*> candidates;
+    candidates.reserve(members_.size());
+    for (auto& [name, m] : members_) {
+      if (name == self_) continue;
+      if (std::find(exclude.begin(), exclude.end(), name) != exclude.end())
+        continue;
+      if (pred(m)) candidates.push_back(&m);
+    }
+    // Partial Fisher–Yates: uniform k-subset in O(k) swaps.
+    std::vector<Member*> out;
+    const int want = std::min<int>(k, static_cast<int>(candidates.size()));
+    out.reserve(static_cast<std::size_t>(std::max(want, 0)));
+    for (int i = 0; i < want; ++i) {
+      const auto j =
+          static_cast<std::size_t>(i) +
+          static_cast<std::size_t>(
+              rng.uniform(candidates.size() - static_cast<std::size_t>(i)));
+      std::swap(candidates[static_cast<std::size_t>(i)], candidates[j]);
+      out.push_back(candidates[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
 
   /// Convenience: k random active members.
   std::vector<Member*> random_active(int k, Rng& rng,
@@ -68,8 +98,14 @@ class MembershipTable {
  private:
   std::string self_;
   std::unordered_map<std::string, Member> members_;
-  std::vector<std::string> probe_order_;
+  /// Round-robin order as pointers into `members_` keys (node-stable across
+  /// rehash; remove() drops entries before erasing the member). Pointers
+  /// keep the random-position join insert an 8-byte memmove per slot — at
+  /// big-cluster join-storm rates the string version's O(n) string moves per
+  /// add were a measurable quadratic term.
+  std::vector<const std::string*> probe_order_;
   std::size_t probe_index_ = 0;
+  int active_ = 0;
 };
 
 }  // namespace lifeguard::swim

@@ -285,7 +285,7 @@ void Node::send_message(const Address& to, Channel ch,
   // target is then processed before the ping, so the ack can already carry
   // the refutation.
   frames.push_back(std::move(control_frame));
-  auto datagram = proto::pack_compound(frames);
+  auto datagram = proto::pack_compound(frames, rt_.acquire_buffer());
   count_sent(proto::msg_type_name(proto::message_type(control)),
              datagram.size(), ch);
   rt_.send(to, std::move(datagram), ch);
@@ -296,16 +296,39 @@ void Node::send_gossip(const Address& to) {
       piggyback_->select(cfg_.max_packet_bytes - proto::kCompoundHeaderBytes,
                          table_.num_active(), nullptr);
   if (frames.empty()) return;
-  auto datagram = proto::pack_compound(frames);
+  auto datagram = proto::pack_compound(frames, rt_.acquire_buffer());
   count_sent("gossip", datagram.size(), Channel::kUdp);
   rt_.send(to, std::move(datagram), Channel::kUdp);
 }
 
 void Node::count_sent(const char* type, std::size_t bytes, Channel ch) {
-  metrics_.counter("net.msgs_sent").add();
-  metrics_.counter("net.bytes_sent").add(static_cast<std::int64_t>(bytes));
-  metrics_.counter(std::string("net.sent.") + type).add();
-  metrics_.counter(std::string("net.sent_ch.") + channel_name(ch)).add();
+  if (msgs_sent_counter_ == nullptr) {
+    msgs_sent_counter_ = &metrics_.counter("net.msgs_sent");
+    bytes_sent_counter_ = &metrics_.counter("net.bytes_sent");
+  }
+  msgs_sent_counter_->add();
+  bytes_sent_counter_->add(static_cast<std::int64_t>(bytes));
+  // `type` is always a string literal (msg_type_name / "gossip"), so pointer
+  // identity is a sufficient cache key; a duplicated literal would only cost
+  // one redundant cache entry aimed at the same counter.
+  Counter* type_counter = nullptr;
+  for (const auto& [t, c] : sent_type_counters_) {
+    if (t == type) {
+      type_counter = c;
+      break;
+    }
+  }
+  if (type_counter == nullptr) {
+    type_counter = &metrics_.counter(std::string("net.sent.") + type);
+    sent_type_counters_.emplace_back(type, type_counter);
+  }
+  type_counter->add();
+  const auto chi = static_cast<std::size_t>(ch);
+  if (sent_ch_counters_[chi] == nullptr) {
+    sent_ch_counters_[chi] =
+        &metrics_.counter(std::string("net.sent_ch.") + channel_name(ch));
+  }
+  sent_ch_counters_[chi]->add();
 }
 
 void Node::broadcast(const std::string& member, const proto::Message& m) {
@@ -319,9 +342,12 @@ void Node::broadcast(const std::string& member, const proto::Message& m) {
 void Node::on_packet(const Address& from, std::span<const std::uint8_t> payload,
                      Channel channel) {
   if (!running_) return;
-  metrics_.counter("net.msgs_received").add();
-  metrics_.counter("net.bytes_received")
-      .add(static_cast<std::int64_t>(payload.size()));
+  if (msgs_received_counter_ == nullptr) {
+    msgs_received_counter_ = &metrics_.counter("net.msgs_received");
+    bytes_received_counter_ = &metrics_.counter("net.bytes_received");
+  }
+  msgs_received_counter_->add();
+  bytes_received_counter_->add(static_cast<std::int64_t>(payload.size()));
 
   std::vector<std::span<const std::uint8_t>> frames;
   if (!proto::unpack_compound(payload, frames)) {

@@ -178,6 +178,17 @@ class Node : public PacketHandler {
   LocalHealth health_;
   Logger log_;
   Metrics metrics_;
+  /// count_sent() fires four counters per outbound message; these caches
+  /// skip the map lookups (and the "net.sent."-prefix string builds) on
+  /// every message after a counter's first use. Counter references are
+  /// node-stable (std::map) for the life of `metrics_`.
+  Counter* msgs_sent_counter_ = nullptr;
+  Counter* bytes_sent_counter_ = nullptr;
+  Counter* sent_ch_counters_[2] = {nullptr, nullptr};  ///< by Channel
+  std::vector<std::pair<const char*, Counter*>> sent_type_counters_;
+  Counter* msgs_received_counter_ = nullptr;
+  Counter* bytes_received_counter_ = nullptr;
+  Counter* join_learned_counter_ = nullptr;
 
   std::uint64_t incarnation_ = 0;
   std::uint32_t next_seq_ = 1;

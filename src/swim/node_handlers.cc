@@ -35,7 +35,12 @@ void Node::on_alive_msg(const proto::Alive& a) {
     const Member& stored = table_.add(std::move(nm), rt_.rng());
     emit(EventType::kJoin, stored, a.member, false);
     broadcast(a.member, a);  // keep disseminating the join
-    metrics_.counter("swim.join_learned").add();
+    // Cached: fires once per (node, learned member) — O(n²) cluster-wide
+    // during a large cluster's join storm.
+    if (join_learned_counter_ == nullptr) {
+      join_learned_counter_ = &metrics_.counter("swim.join_learned");
+    }
+    join_learned_counter_->add();
     return;
   }
   // An alive message refutes suspect/dead only with a strictly higher

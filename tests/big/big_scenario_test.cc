@@ -1,0 +1,95 @@
+// The large-cluster tier at full scale (ctest label: big).
+//
+// These tests run minutes of wall time: a 1000-node cluster under the full
+// protocol invariant suite, and a big-tier campaign proving jobs=1 and
+// jobs=8 produce byte-identical artifacts. The 2k/4k registry scenarios
+// follow the same code paths at bigger n and are exercised out of band
+// (they were validated at full scale when this tier landed — see
+// docs/benchmarks.md); keeping them out of ctest bounds suite wall time.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/spec.h"
+#include "harness/campaign.h"
+#include "harness/report.h"
+#include "harness/scenario.h"
+
+namespace lifeguard {
+namespace {
+
+using harness::Campaign;
+using harness::CampaignResult;
+using harness::RunResult;
+using harness::Scenario;
+using harness::ScenarioRegistry;
+
+TEST(BigTier, CatalogHasTheLargeClusterScenarios) {
+  for (const char* name : {"big-healthy-2k", "big-flapping-1k",
+                           "big-churn-2k", "big-partition-4k"}) {
+    const Scenario* s = ScenarioRegistry::builtin().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_GE(s->cluster_size, 1000) << name;
+    // The tier ships with live invariant checking on by default.
+    EXPECT_TRUE(s->checks.enabled) << name;
+    EXPECT_TRUE(s->validate().empty()) << name;
+  }
+}
+
+// big-flapping-1k at full scale: 1000 members, 8 flapping victims, the
+// whole built-in invariant suite — zero violations required.
+TEST(BigTier, FlappingThousandNodesPassesTheFullInvariantSuite) {
+  const Scenario* s = ScenarioRegistry::builtin().find("big-flapping-1k");
+  ASSERT_NE(s, nullptr);
+  const RunResult r = harness::run(*s);
+  ASSERT_TRUE(r.checks.checked);
+  EXPECT_EQ(r.checks.total_violations, 0)
+      << "violations: " << r.checks.violations.size();
+  EXPECT_EQ(r.cluster_size, 1000);
+  // The flapping victims must actually be detected by the healthy majority.
+  EXPECT_FALSE(r.first_detect.empty());
+}
+
+// Campaign artifacts over a big-tier scenario are byte-identical at every
+// jobs level — the shared-nothing trial isolation holds at n=1000 exactly
+// as it does at paper scale.
+TEST(BigTier, CampaignArtifactsAreJobsInvariant) {
+  const Scenario* base = ScenarioRegistry::builtin().find("big-flapping-1k");
+  ASSERT_NE(base, nullptr);
+
+  Campaign c;
+  c.name = "big-flapping-1k-parity";
+  c.base = *base;
+  c.repetitions = 2;
+  c.base_seed = 99;
+
+  auto execute = [&](int jobs, std::string& jsonl_text) {
+    Campaign run_c = c;
+    run_c.jobs = jobs;
+    std::ostringstream jsonl_out;
+    harness::JsonlReporter jsonl(jsonl_out);
+    const CampaignResult r = harness::run(run_c, {&jsonl});
+    jsonl_text = jsonl_out.str();
+    return r;
+  };
+
+  std::string jsonl1, jsonl8;
+  const CampaignResult seq = execute(1, jsonl1);
+  const CampaignResult par = execute(8, jsonl8);
+
+  ASSERT_EQ(seq.trials.size(), 2u);
+  ASSERT_EQ(par.trials.size(), seq.trials.size());
+  for (std::size_t i = 0; i < seq.trials.size(); ++i) {
+    EXPECT_EQ(seq.trials[i].seed, par.trials[i].seed);
+    EXPECT_EQ(seq.trials[i].result.msgs_sent, par.trials[i].result.msgs_sent);
+    EXPECT_EQ(seq.trials[i].result.bytes_sent,
+              par.trials[i].result.bytes_sent);
+    EXPECT_EQ(seq.trials[i].result.fp_events,
+              par.trials[i].result.fp_events);
+    EXPECT_EQ(seq.trials[i].result.checks.total_violations, 0);
+  }
+  EXPECT_EQ(jsonl1, jsonl8);
+}
+
+}  // namespace
+}  // namespace lifeguard

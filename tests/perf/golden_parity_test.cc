@@ -1,0 +1,69 @@
+// Golden-seed bit-parity for the hot-path optimization pass.
+//
+// These exact values were captured at the seed of this PR, BEFORE the
+// EventQueue slot-pool rewrite, the Task-based delivery closures, the
+// datagram buffer pool, the BroadcastQueue rank-map redesign, the cached
+// active count and the per-node link-fault index. Every one of those
+// changes claims to be a pure performance transformation: identical Rng
+// draw sequence, identical event ordering, identical protocol behavior.
+// This suite holds them (and any future "optimization") to that claim
+// across registry scenarios covering healthy steady state, the SWIM
+// baseline under interval anomalies, threshold latency, and the composed
+// stress/partition/loss/duplication/reordering timelines.
+//
+// If this test breaks, the optimization changed observable behavior — fix
+// the optimization, do not re-capture the numbers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "harness/scenario.h"
+
+namespace lifeguard {
+namespace {
+
+struct Golden {
+  const char* scenario;
+  std::int64_t fp, fp_healthy, msgs, bytes;
+  std::size_t first_detect, full_dissem;
+};
+
+// Captured from the pre-optimization engine (see header).
+constexpr Golden kGoldens[] = {
+    {"steady-state", 0, 0, 12315, 1523700, 0, 0},
+    {"fig2-total-false-positives", 179, 0, 149043, 22771719, 8, 8},
+    {"table5-latency", 0, 0, 39742, 8600485, 4, 4},
+    {"partition-under-stress", 13, 0, 6744, 380863, 7, 7},
+    {"lossy-flapping", 0, 0, 33435, 1614951, 3, 0},
+    {"packet-chaos", 0, 0, 4885, 266461, 0, 0},
+};
+
+class GoldenSeedParity : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenSeedParity, RegistryScenarioReplaysBitIdentically) {
+  const Golden& g = GetParam();
+  const harness::Scenario* s =
+      harness::ScenarioRegistry::builtin().find(g.scenario);
+  ASSERT_NE(s, nullptr) << g.scenario;
+  const harness::RunResult r = harness::run(*s);
+  EXPECT_EQ(r.fp_events, g.fp) << g.scenario;
+  EXPECT_EQ(r.fp_healthy_events, g.fp_healthy) << g.scenario;
+  EXPECT_EQ(r.msgs_sent, g.msgs) << g.scenario;
+  EXPECT_EQ(r.bytes_sent, g.bytes) << g.scenario;
+  EXPECT_EQ(r.first_detect.size(), g.first_detect) << g.scenario;
+  EXPECT_EQ(r.full_dissem.size(), g.full_dissem) << g.scenario;
+}
+
+INSTANTIATE_TEST_SUITE_P(PreOptimizationGoldens, GoldenSeedParity,
+                         ::testing::ValuesIn(kGoldens),
+                         [](const auto& info) {
+                           std::string name = info.param.scenario;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lifeguard

@@ -1,0 +1,69 @@
+// perf::Suite smoke: the registered suites run and produce sane baselines.
+#include <gtest/gtest.h>
+
+#include "perf/suite.h"
+
+namespace lifeguard::perf {
+namespace {
+
+TEST(PerfSuite, NamesAndLookupAgree) {
+  const auto names = Suite::names();
+  ASSERT_GE(names.size(), 2u);
+  for (const std::string& name : names) {
+    const auto* cases = Suite::find(name);
+    ASSERT_NE(cases, nullptr) << name;
+    EXPECT_FALSE(cases->empty()) << name;
+    for (const BenchCase& c : *cases) {
+      // Case names are namespaced by their suite: "micro/event-queue".
+      EXPECT_EQ(c.name.rfind(name + "/", 0), 0u) << c.name;
+      EXPECT_FALSE(c.summary.empty()) << c.name;
+    }
+  }
+  EXPECT_EQ(Suite::find("no-such-suite"), nullptr);
+}
+
+TEST(PerfSuite, MicroSuiteQuickRunProducesAllMeasurements) {
+  SuiteOptions opt;
+  opt.quick = true;
+  opt.min_time_s = 0.02;  // smoke: just prove every case measures
+  const Baseline b = Suite::run("micro", opt, nullptr);
+  EXPECT_EQ(b.suite, "micro");
+  EXPECT_FALSE(b.created.empty());
+  EXPECT_FALSE(b.host.empty());
+  EXPECT_FALSE(b.build.empty());
+  ASSERT_EQ(b.entries.size(), Suite::find("micro")->size());
+  for (const Measurement& m : b.entries) {
+    EXPECT_GT(m.items_per_s, 0.0) << m.name;
+    EXPECT_GT(m.wall_s, 0.0) << m.name;
+    EXPECT_GT(m.iterations, 0) << m.name;
+    EXPECT_GT(m.peak_rss_kb, 0) << m.name;
+  }
+}
+
+TEST(PerfSuite, QuickModeSkipsHeavyCases) {
+  SuiteOptions quick;
+  quick.quick = true;
+  quick.min_time_s = 0.02;
+  // The sim suite's n=1024 case is marked heavy and must not run under
+  // --quick; everything else must.
+  const auto* cases = Suite::find("sim");
+  ASSERT_NE(cases, nullptr);
+  std::size_t heavy = 0;
+  for (const BenchCase& c : *cases) heavy += c.heavy ? 1 : 0;
+  ASSERT_GE(heavy, 1u);
+  const Baseline b = Suite::run("sim", quick, nullptr);
+  EXPECT_EQ(b.entries.size(), cases->size() - heavy);
+  for (const Measurement& m : b.entries) {
+    EXPECT_GT(m.items_per_s, 0.0) << m.name;     // virtual s per real s
+    EXPECT_GT(m.events_per_s, 0.0) << m.name;    // simulator events
+    EXPECT_GT(m.datagrams_per_s, 0.0) << m.name; // routed datagrams
+  }
+}
+
+TEST(PerfSuite, UnknownSuiteThrows) {
+  SuiteOptions opt;
+  EXPECT_THROW(Suite::run("bogus", opt, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lifeguard::perf

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace lifeguard::sim {
@@ -93,6 +94,88 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   q.push(TimePoint{9}, [] {});
   q.cancel(a);
   EXPECT_EQ(q.next_time(), TimePoint{9});
+}
+
+// Regression: cancelling a handle after its event fired must be an exact
+// no-op. The old tombstone-set design inserted the dead handle anyway and
+// pending() (heap size minus tombstones) under-counted — with one live
+// event left it reported 0, and further cancels wrapped the unsigned count.
+TEST(EventQueue, CancelAfterFireKeepsPendingExact) {
+  EventQueue q;
+  const auto fired = q.push(TimePoint{1}, [] {});
+  q.push(TimePoint{50}, [] {});
+  TimePoint now{};
+  ASSERT_TRUE(q.run_next(now));  // fires `fired`
+  EXPECT_EQ(q.pending(), 1u);
+  q.cancel(fired);  // already fired: must not disturb the accounting
+  EXPECT_EQ(q.pending(), 1u);
+  q.cancel(fired);  // idempotent
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+  ASSERT_TRUE(q.run_next(now));
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+// Regression: a handle whose slot has been reused by a newer event must not
+// cancel the new occupant (generation check), and double-cancel is a no-op.
+TEST(EventQueue, StaleHandleCannotCancelReusedSlot) {
+  EventQueue q;
+  const auto old_handle = q.push(TimePoint{10}, [] {});
+  q.cancel(old_handle);  // frees the slot for reuse
+  EXPECT_EQ(q.pending(), 0u);
+  int fired = 0;
+  // Reuses the freed slot with a fresh generation.
+  q.push(TimePoint{20}, [&] { ++fired; });
+  EXPECT_EQ(q.pending(), 1u);
+  q.cancel(old_handle);  // stale: must not hit the new event
+  q.cancel(old_handle);
+  EXPECT_EQ(q.pending(), 1u);
+  TimePoint now{};
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+// Cancel releases the callable's captures immediately, not when the heap
+// entry would have surfaced — the payload of a cancelled delivery must not
+// linger until its timestamp.
+TEST(EventQueue, CancelReleasesCapturesEagerly) {
+  EventQueue q;
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = payload;
+  const auto id = q.push(TimePoint{1000}, [p = std::move(payload)] { (void)*p; });
+  EXPECT_FALSE(watch.expired());
+  q.cancel(id);
+  EXPECT_TRUE(watch.expired());
+}
+
+// Golden ordering contract: a deterministic push/cancel/fire interleave must
+// execute in exactly (time, insertion-sequence) order. Guards the slot-pool
+// rewrite (and any future one) against ordering drift.
+TEST(EventQueue, DeterministicInterleaveGolden) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<std::uint64_t> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(
+        q.push(TimePoint{(i * 271) % 97}, [&fired, i] { fired.push_back(i); }));
+    if (i % 3 == 0) q.cancel(handles[static_cast<std::size_t>((i * 7) % (i + 1))]);
+  }
+  TimePoint now{}, prev{};
+  std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a over fired ids
+  while (q.run_next(now)) {
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+  for (int i : fired) {
+    digest ^= static_cast<std::uint64_t>(i);
+    digest *= 1099511628211ULL;
+  }
+  // Captured from the pre-rewrite tombstone implementation; the slot-pool
+  // queue must replay it bit for bit.
+  EXPECT_EQ(fired.size(), 667u);
+  EXPECT_EQ(digest, 0x1925ea0d9bd57afaULL);
 }
 
 TEST(EventQueue, StressManyEvents) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Markdown link checker for the repo's documentation.
+#
+#   tools/check-links.sh
+#
+# Validates every relative link target in README.md, DESIGN.md, ROADMAP.md
+# and docs/*.md: the referenced file (or directory) must exist. External
+# http(s) links and pure anchors are not fetched (CI must not depend on
+# the network). Exits 1 listing every broken link.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+files=(README.md DESIGN.md ROADMAP.md)
+while IFS= read -r f; do files+=("$f"); done < <(find docs -name '*.md' | sort)
+
+broken=0
+for f in "${files[@]}"; do
+  [[ -f "$f" ]] || continue
+  dir="$(dirname "$f")"
+  # Extract inline markdown link targets: [text](target) — with fenced
+  # code blocks stripped first (C++ lambdas look like links to grep).
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;  # external: not fetched
+      '#'*) continue ;;                          # in-page anchor
+      *' '*) continue ;;                         # not a path (code remnant)
+    esac
+    # Strip a trailing anchor from file.md#section
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "$f: broken link -> $target"
+      broken=1
+    fi
+  done < <(awk '/^```/{fence=!fence; next} !fence' "$f" |
+           grep -oE '\]\(([^)]+)\)' | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [[ "$broken" == 1 ]]; then
+  echo "" >&2
+  echo "broken markdown links found" >&2
+  exit 1
+fi
+echo "all markdown links resolve"
