@@ -56,6 +56,18 @@
 //       the replayed stream matches the recording bit for bit; exits
 //       nonzero on divergence.
 //
+//   ./examples/scenario_runner --backend live [flags]
+//       Execute the scenario on the live tier (src/live) instead of the
+//       simulator: every member is a real OS process speaking real UDP on
+//       loopback, faults are applied with signals and the userspace netem
+//       shim, and the same invariants check the merged live event stream.
+//       --backend sim (the default) picks the simulator. Extra live flags:
+//     --timeout S        wall-clock watchdog: on expiry every worker is
+//                        SIGKILLed and the runner exits 5 (no orphans)
+//     --live-logs DIR    write each worker's stderr to DIR/node-N.log
+//       --campaign and --replay are simulator-only (they depend on
+//       bit-identical determinism a wall clock cannot provide).
+//
 //   ./examples/scenario_runner --campaign [--reps N] [--jobs N]
 //                              [--json FILE] [--csv FILE] [flags]
 //       Run the composed scenario as a Campaign: N repetitions with
@@ -68,6 +80,12 @@
 // Prints the paper's metrics for the single run: FP, FP-, detection and
 // dissemination latencies, message load. Malformed or out-of-range flag
 // values are rejected with a message naming the flag and the accepted range.
+//
+// Exit codes: 0 success, 2 usage / malformed input, 3 invariant violations,
+// 4 replay divergence, 5 live-run watchdog timeout.
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -76,6 +94,7 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "check/replay.h"
 #include "check/spec.h"
@@ -86,6 +105,9 @@
 #include "harness/scenario.h"
 #include "harness/stats.h"
 #include "harness/table.h"
+#include "live/process.h"
+#include "live/runner.h"
+#include "net/udp_runtime.h"
 
 using namespace lifeguard;
 using namespace lifeguard::harness;
@@ -385,6 +407,9 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0 = one worker per hardware thread
   std::optional<std::string> json_path, csv_path, trace_path, replay_path;
   std::optional<Duration> suspicion_cap;
+  harness::Backend backend = harness::Backend::kSim;
+  std::optional<Duration> watchdog_timeout;
+  std::string live_logs = "live-logs";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -446,6 +471,15 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--csv") {
       csv_path = next();
+    } else if (arg == "--backend") {
+      const std::string name = next();
+      const auto b = harness::backend_from_name(name);
+      if (!b) usage_error("unknown --backend '" + name + "' (sim|live)");
+      backend = *b;
+    } else if (arg == "--timeout") {
+      watchdog_timeout = sec(parse_int(arg, next(), 1, 86400));
+    } else if (arg == "--live-logs") {
+      live_logs = next();
     } else {
       usage_error("unknown option " + arg);
     }
@@ -512,6 +546,34 @@ int main(int argc, char** argv) {
   if (check_mode) s.checks = check::Spec::all();
   if (suspicion_cap) s.checks.suspicion_cap = *suspicion_cap;
 
+  if (backend == harness::Backend::kLive && campaign_mode) {
+    usage_error("--campaign is simulator-only: a statistical sweep needs the "
+                "determinism and speed a real-process cluster cannot offer");
+  }
+
+  // Watchdog: a hard wall-clock ceiling on the whole invocation. On expiry
+  // every registered worker is SIGKILLed so no orphans survive, then the
+  // runner exits 5. Armed only when --timeout is given.
+  static std::atomic<bool> finished{false};
+  if (watchdog_timeout) {
+    const Duration limit = *watchdog_timeout;
+    std::thread([limit] {
+      const std::int64_t deadline =
+          net::steady_now_ns() + limit.us * 1000;
+      while (net::steady_now_ns() < deadline) {
+        if (finished.load()) return;
+        ::usleep(50 * 1000);
+      }
+      if (finished.load()) return;
+      std::fprintf(stderr,
+                   "scenario_runner: watchdog expired after %.0fs — killing "
+                   "workers\n",
+                   limit.seconds());
+      live::emergency_teardown();
+      std::_Exit(5);
+    }).detach();
+  }
+
   try {
     if (campaign_mode) {
       if (trace_path) {
@@ -572,7 +634,11 @@ int main(int argc, char** argv) {
         recorder.emplace(s);
         sinks.push_back(&*recorder);
       }
-      const RunResult r = run(s, sinks);
+      harness::RunOptions run_opts;
+      run_opts.backend = backend;
+      if (watchdog_timeout) run_opts.timeout = *watchdog_timeout;
+      run_opts.log_dir = live_logs;
+      const RunResult r = run(s, run_opts, sinks);
       report(r);
       if (r.checks.checked) report_checks(r.checks);
 
@@ -592,11 +658,20 @@ int main(int argc, char** argv) {
                     save_to.c_str(), recorder->trace().events.size(),
                     save_to.c_str());
       }
-      if (r.checks.checked && !r.checks.passed()) return 3;
+      if (r.checks.checked && !r.checks.passed()) {
+        finished.store(true);
+        return 3;
+      }
     }
+  } catch (const live::TimeoutError& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    live::emergency_teardown();
+    return 5;
   } catch (const ScenarioError& e) {
+    finished.store(true);
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  finished.store(true);
   return 0;
 }

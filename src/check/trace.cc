@@ -175,6 +175,18 @@ std::string strings_json(const std::vector<std::string>& v) {
 
 }  // namespace
 
+std::string event_line(const TraceEvent& e) {
+  std::string out = "{\"t\":" + std::to_string(e.at.us) + ",\"k\":\"" +
+                    trace_event_kind_name(e.kind) + "\"";
+  if (e.node >= 0) out += ",\"n\":" + std::to_string(e.node);
+  if (e.peer >= 0) out += ",\"m\":" + std::to_string(e.peer);
+  if (e.origin >= 0) out += ",\"o\":" + std::to_string(e.origin);
+  if (e.incarnation != 0) out += ",\"inc\":" + std::to_string(e.incarnation);
+  if (e.originated) out += ",\"og\":1";
+  out += "}";
+  return out;
+}
+
 void save_trace(const Trace& t, std::ostream& out) {
   const TraceHeader& h = t.header;
   out << "{\"type\":\"trace\",\"version\":1"
@@ -200,14 +212,7 @@ void save_trace(const Trace& t, std::ostream& out) {
       << ",\"cap_us\":" << h.checks.suspicion_cap.us
       << ",\"max_violations\":" << h.checks.max_violations << "}\n";
   for (const TraceEvent& e : t.events) {
-    out << "{\"t\":" << e.at.us << ",\"k\":\""
-        << trace_event_kind_name(e.kind) << "\"";
-    if (e.node >= 0) out << ",\"n\":" << e.node;
-    if (e.peer >= 0) out << ",\"m\":" << e.peer;
-    if (e.origin >= 0) out << ",\"o\":" << e.origin;
-    if (e.incarnation != 0) out << ",\"inc\":" << e.incarnation;
-    if (e.originated) out << ",\"og\":1";
-    out << "}\n";
+    out << event_line(e) << "\n";
   }
   out << "{\"type\":\"end\",\"events\":" << t.events.size() << "}\n";
 }
@@ -556,6 +561,15 @@ bool parse_event(const JsonObject& o, TraceEvent& e, std::string& error) {
 }
 
 }  // namespace
+
+std::optional<TraceEvent> event_from_line(std::string_view line,
+                                          std::string& error) {
+  JsonObject o;
+  if (!parse_flat_object(std::string(line), o, error)) return std::nullopt;
+  TraceEvent e;
+  if (!parse_event(o, e, error)) return std::nullopt;
+  return e;
+}
 
 std::optional<Trace> load_trace(std::istream& in, std::string& error) {
   Trace t;

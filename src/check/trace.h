@@ -79,6 +79,17 @@ class TraceRecorder : public TraceSink {
 /// Derive a trace header from a Scenario (what TraceRecorder stores).
 TraceHeader make_header(const harness::Scenario& s);
 
+// ---- event-line codec ----
+/// One TraceEvent in the compact flat-JSON form trace files use for event
+/// records ({"t":..,"k":"suspect","n":3,...}; no trailing newline). This is
+/// also the wire form the live tier's control channel streams (one `EV `
+/// line per event; see src/live/control.h) — one codec, so a live run's
+/// recorded trace is indistinguishable from a simulated one.
+std::string event_line(const TraceEvent& e);
+/// Inverse of event_line; nullopt + `error` on malformed input.
+std::optional<TraceEvent> event_from_line(std::string_view line,
+                                          std::string& error);
+
 /// Render one timeline entry in the `--fault` grammar such that
 /// fault::parse_timeline_entry() reconstructs it exactly.
 std::string entry_spec(const fault::TimelineEntry& e);

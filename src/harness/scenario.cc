@@ -671,6 +671,95 @@ ScenarioRegistry make_builtin() {
     s.run_length = sec(60);
     reg.add(std::move(s));
   }
+  // ---- the live tier (src/live): real processes, real UDP on loopback ----
+  // Every scenario here runs on both backends (the registry validates them
+  // like any other entry, and the parity smoke test exercises that), but
+  // their shape is chosen for wall-clock viability: small clusters, fast
+  // protocol intervals, explicit victim sets so sim and live agree on who is
+  // faulted, and a generous timeout_slack because real schedulers jitter.
+  auto live_config = [] {
+    swim::Config c = swim::Config::lifeguard();
+    c.probe_interval = msec(200);
+    c.probe_timeout = msec(100);
+    c.gossip_interval = msec(100);
+    c.push_pull_interval = sec(5);
+    c.reconnect_interval = sec(3);
+    return c;
+  };
+  auto live_checks = [] {
+    check::Spec spec = check::Spec::all();
+    spec.timeout_slack = 0.25;
+    spec.convergence_settle = sec(6);
+    return spec;
+  };
+  {
+    Scenario s = base("live-healthy",
+                      "8 real processes over loopback UDP, no faults: join "
+                      "storm, convergence and steady gossip under a wall "
+                      "clock",
+                      "");
+    s.cluster_size = 8;
+    s.config = live_config();
+    s.anomaly = AnomalyPlan::none();
+    s.quiesce = sec(5);
+    s.run_length = sec(8);
+    s.checks = live_checks();
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("live-lossy",
+                      "8 live members; two sit behind 25% lossy links (both "
+                      "directions) applied by the userspace netem shim",
+                      "");
+    s.cluster_size = 8;
+    s.config = live_config();
+    s.timeline.add(sec(0), sec(10), fault::Fault::link_loss(0.25, 0.25),
+                   fault::VictimSelector::nodes({2, 5}));
+    s.quiesce = sec(5);
+    s.run_length = sec(10);
+    s.checks = live_checks();
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("live-crash-restart",
+                      "a live member is SIGKILLed and respawned on its old "
+                      "port in 4 s-down / 3 s-up cycles",
+                      "");
+    s.cluster_size = 8;
+    s.config = live_config();
+    // Cycle (4s + 3s) <= the 8s span, so the random phase cannot push the
+    // first kill past the span — every run really crashes the victim.
+    s.timeline.add(sec(0), sec(8), fault::Fault::churn(sec(4), sec(3)),
+                   fault::VictimSelector::nodes({3}));
+    s.quiesce = sec(5);
+    s.run_length = sec(12);
+    s.checks = live_checks();
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("live-partition-under-stress",
+                      "one live member SIGSTOPped in random bursts while a "
+                      "3-member island is blocked off for 4 s mid-run",
+                      "");
+    s.cluster_size = 10;
+    s.config = live_config();
+    {
+      sim::StressParams stress;
+      stress.block_min = msec(500);
+      stress.block_max = sec(2);
+      stress.run_min = msec(100);
+      stress.run_max = msec(500);
+      s.timeline.add(sec(0), sec(8), fault::Fault::stressed(stress),
+                     fault::VictimSelector::nodes({7}));
+    }
+    s.timeline.add(sec(2), sec(4), fault::Fault::partition(),
+                   fault::VictimSelector::island(3, 4));
+    s.quiesce = sec(5);
+    s.run_length = sec(10);
+    s.checks = live_checks();
+    reg.add(std::move(s));
+  }
+
   // ---- the large-cluster tier (enabled by the perf:: optimization pass) --
   // Protocol invariants are on by default for this tier: at these sizes the
   // interesting failures are emergent (join storms, dissemination backlogs),

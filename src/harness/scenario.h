@@ -203,6 +203,35 @@ struct RunResult {
 RunResult run(const Scenario& s,
               const std::vector<check::TraceSink*>& sinks = {});
 
+// ---------------------------------------------------------------------------
+// Backend dispatch
+
+/// Where a scenario executes: the deterministic simulator (default) or the
+/// live tier — real OS processes over real UDP (src/live). One descriptor,
+/// two backends, one RunResult shape.
+enum class Backend : std::uint8_t { kSim, kLive };
+
+const char* backend_name(Backend b);
+std::optional<Backend> backend_from_name(std::string_view name);
+
+/// Cross-backend run options. The sim backend ignores everything but
+/// `backend`; the live fields mirror live::RunOptions.
+struct RunOptions {
+  Backend backend = Backend::kSim;
+  /// Live only: wall-clock ceiling (zero = derived from the scenario).
+  Duration timeout{};
+  /// Live only: worker binary override (empty = auto-discover).
+  std::string node_binary;
+  /// Live only: per-node stderr log directory (empty = no logs).
+  std::string log_dir;
+};
+
+/// Backend-dispatching entry point: runs `s` on the simulator or the live
+/// tier per `opts.backend`. Defined in src/live/runner.cc (the only place
+/// that links both engines).
+RunResult run(const Scenario& s, const RunOptions& opts,
+              const std::vector<check::TraceSink*>& sinks = {});
+
 /// "The test ends at the end of the next anomalous period" (§V-D2):
 /// `run_length` rounded up to whole (duration + interval) cycles. Forwards
 /// to fault::cycle_aligned_length — one definition (shared with the

@@ -1,0 +1,168 @@
+#include "live/fault_plan.h"
+
+#include <algorithm>
+
+#include "fault/injector.h"
+
+namespace lifeguard::live {
+
+namespace {
+
+void stop_cont_span(std::vector<LiveAction>& out, int entry,
+                    const std::vector<int>& victims, Duration start,
+                    Duration span) {
+  for (int v : victims) {
+    out.push_back({.at = start, .kind = LiveAction::Kind::kStop,
+                   .node = v, .entry = entry});
+  }
+  for (int v : victims) {
+    out.push_back({.at = start + span, .kind = LiveAction::Kind::kCont,
+                   .node = v, .entry = entry});
+  }
+}
+
+}  // namespace
+
+LivePlan compile_timeline(const fault::Timeline& tl, int cluster_size,
+                          Duration run_length, Rng& rng) {
+  using fault::FaultKind;
+  LivePlan plan;
+  plan.total_run = fault::FaultInjector::plan_total_run(tl, run_length);
+  plan.entry_victims.reserve(tl.size());
+
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    const fault::TimelineEntry& e = tl.entries()[i];
+    const int entry = static_cast<int>(i);
+    const bool exclude_seed = e.fault.kind == FaultKind::kChurn;
+    std::vector<int> victims =
+        e.victims.resolve(cluster_size, rng, exclude_seed);
+    const Duration start = e.at;
+    const Duration end = e.at + e.duration;
+
+    // Markers first, so stable sort keeps them ahead of same-instant actions.
+    plan.actions.push_back(
+        {.at = start, .kind = LiveAction::Kind::kFaultStart, .entry = entry});
+    plan.actions.push_back(
+        {.at = end, .kind = LiveAction::Kind::kFaultEnd, .entry = entry});
+
+    switch (e.fault.kind) {
+      case FaultKind::kBlock:
+        stop_cont_span(plan.actions, entry, victims, start, e.duration);
+        break;
+
+      case FaultKind::kIntervalBlock: {
+        // Lock-step cycles; cycles begun before span end run to completion
+        // (sim::schedule_interval_anomaly).
+        const Duration cycle = e.fault.period + e.fault.gap;
+        if (cycle > Duration{0}) {
+          for (Duration t = start; t < end; t = t + cycle) {
+            stop_cont_span(plan.actions, entry, victims, t, e.fault.period);
+          }
+        }
+        break;
+      }
+
+      case FaultKind::kStress: {
+        const auto& p = e.fault.stress;
+        for (int v : victims) {
+          Rng vr = rng.fork();
+          // Staggered onset, then log-uniform block/run spans — the same
+          // draw shapes as sim's StressCycle.
+          Duration t = start + Duration{vr.uniform_range(0, 500000)};
+          while (t < end) {
+            const Duration block{static_cast<std::int64_t>(vr.log_uniform(
+                static_cast<double>(p.block_min.us),
+                static_cast<double>(p.block_max.us)))};
+            const Duration run{static_cast<std::int64_t>(vr.log_uniform(
+                static_cast<double>(p.run_min.us),
+                static_cast<double>(p.run_max.us)))};
+            stop_cont_span(plan.actions, entry, {v}, t, block);
+            t = t + block + run;
+          }
+        }
+        break;
+      }
+
+      case FaultKind::kFlapping: {
+        const Duration cycle = e.fault.period + e.fault.gap;
+        if (cycle > Duration{0}) {
+          for (int v : victims) {
+            // Independent random phase per victim, drawn from one full
+            // cycle (sim::schedule_flapping_anomaly).
+            const Duration phase{rng.uniform_range(0, cycle.us - 1)};
+            for (Duration t = start + phase; t < end; t = t + cycle) {
+              stop_cont_span(plan.actions, entry, {v}, t, e.fault.period);
+            }
+          }
+        }
+        break;
+      }
+
+      case FaultKind::kChurn: {
+        const Duration cycle = e.fault.period + e.fault.gap;
+        if (cycle > Duration{0}) {
+          for (int v : victims) {
+            if (v == 0) continue;  // node 0 is the rejoin seed
+            const Duration phase{rng.uniform_range(0, cycle.us - 1)};
+            for (Duration t = start + phase; t < end; t = t + cycle) {
+              plan.actions.push_back({.at = t, .kind = LiveAction::Kind::kKill,
+                                      .node = v, .entry = entry});
+              plan.actions.push_back({.at = t + e.fault.period,
+                                      .kind = LiveAction::Kind::kRespawn,
+                                      .node = v, .entry = entry});
+            }
+          }
+        }
+        break;
+      }
+
+      case FaultKind::kPartition: {
+        // A distinct claim token per entry so overlapping partitions stack
+        // and unwind like sim's partition_claims.
+        const int group = entry + 1;
+        plan.actions.push_back({.at = start,
+                                .kind = LiveAction::Kind::kPartitionAdd,
+                                .entry = entry, .token = group,
+                                .island = victims});
+        plan.actions.push_back({.at = end,
+                                .kind = LiveAction::Kind::kPartitionDel,
+                                .entry = entry, .token = group,
+                                .island = victims});
+        break;
+      }
+
+      case FaultKind::kLinkLoss:
+      case FaultKind::kLatency:
+      case FaultKind::kDuplicate:
+      case FaultKind::kReorder: {
+        const net::NetemFilter::Overlay overlay =
+            net::NetemFilter::overlay_from_fault(e.fault);
+        for (int v : victims) {
+          plan.actions.push_back({.at = start,
+                                  .kind = LiveAction::Kind::kNetemAdd,
+                                  .node = v, .entry = entry, .token = entry,
+                                  .overlay = overlay});
+          plan.actions.push_back({.at = end,
+                                  .kind = LiveAction::Kind::kNetemDel,
+                                  .node = v, .entry = entry, .token = entry});
+        }
+        break;
+      }
+    }
+
+    for (int v : victims) {
+      if (std::find(plan.victims.begin(), plan.victims.end(), v) ==
+          plan.victims.end()) {
+        plan.victims.push_back(v);
+      }
+    }
+    plan.entry_victims.push_back(std::move(victims));
+  }
+
+  std::stable_sort(
+      plan.actions.begin(), plan.actions.end(),
+      [](const LiveAction& a, const LiveAction& b) { return a.at < b.at; });
+  return plan;
+}
+
+}  // namespace lifeguard::live

@@ -1,0 +1,220 @@
+#include "live/process.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "net/udp_runtime.h"
+
+namespace lifeguard::live {
+
+namespace {
+
+std::mutex g_pids_mu;
+std::vector<pid_t> g_pids;
+
+}  // namespace
+
+void register_live_pid(pid_t pid) {
+  const std::lock_guard<std::mutex> lock(g_pids_mu);
+  g_pids.push_back(pid);
+}
+
+void unregister_live_pid(pid_t pid) {
+  const std::lock_guard<std::mutex> lock(g_pids_mu);
+  std::erase(g_pids, pid);
+}
+
+void emergency_teardown() {
+  const std::lock_guard<std::mutex> lock(g_pids_mu);
+  for (const pid_t pid : g_pids) {
+    ::kill(pid, SIGKILL);
+    // A SIGSTOPped process would otherwise sit on the pending SIGKILL.
+    ::kill(pid, SIGCONT);
+  }
+}
+
+NodeProcess::~NodeProcess() { kill_and_reap(); }
+
+NodeProcess::NodeProcess(NodeProcess&& o) noexcept { *this = std::move(o); }
+
+NodeProcess& NodeProcess::operator=(NodeProcess&& o) noexcept {
+  if (this == &o) return *this;
+  kill_and_reap();
+  pid_ = o.pid_;
+  reaped_ = o.reaped_;
+  index_ = o.index_;
+  control_fd_ = o.control_fd_;
+  udp_port_ = o.udp_port_;
+  writer_ = std::move(o.writer_);
+  lines_ = std::move(o.lines_);
+  o.pid_ = -1;
+  o.reaped_ = true;
+  o.control_fd_ = -1;
+  o.writer_.reset();
+  return *this;
+}
+
+bool NodeProcess::spawn(const Options& opts, std::string& error) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    error = "socketpair() failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+
+  const std::string index_s = std::to_string(opts.index);
+  const std::string port_s = std::to_string(opts.udp_port);
+  const std::string seed_s = std::to_string(opts.seed);
+  const std::string epoch_s = std::to_string(opts.epoch_ns);
+  const std::string tick_ms_s = std::to_string(opts.tick.us / 1000);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    error = "fork() failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+
+  if (pid == 0) {
+    // Child. Die with the parent even if it is SIGKILLed.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    ::close(sv[0]);
+    // The worker finds its control channel on a fixed fd.
+    if (sv[1] != 3) {
+      ::dup2(sv[1], 3);
+      ::close(sv[1]);
+    }
+    if (!opts.log_path.empty()) {
+      const int log_fd =
+          ::open(opts.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log_fd >= 0) {
+        ::dup2(log_fd, STDERR_FILENO);
+        if (log_fd != STDERR_FILENO) ::close(log_fd);
+      }
+    }
+    const char* argv[] = {opts.binary.c_str(),
+                          "--index", index_s.c_str(),
+                          "--port", port_s.c_str(),
+                          "--seed", seed_s.c_str(),
+                          "--epoch-ns", epoch_s.c_str(),
+                          "--control-fd", "3",
+                          "--tick-ms", tick_ms_s.c_str(),
+                          "--config", opts.config_spec.c_str(),
+                          nullptr};
+    ::execv(opts.binary.c_str(), const_cast<char* const*>(argv));
+    ::_exit(127);
+  }
+
+  // Parent.
+  ::close(sv[1]);
+  pid_ = pid;
+  reaped_ = false;
+  index_ = opts.index;
+  control_fd_ = sv[0];
+  udp_port_ = opts.udp_port;
+  writer_ = std::make_unique<LineWriter>(control_fd_);
+  register_live_pid(pid_);
+  return true;
+}
+
+bool NodeProcess::handshake(Duration timeout, std::string& error) {
+  const std::int64_t deadline = net::steady_now_ns() + timeout.us * 1000;
+  char buf[512];
+  while (true) {
+    if (auto line = lines_.next_line()) {
+      std::string parse_error;
+      const auto msg = parse_worker_msg(*line, parse_error);
+      if (!msg || msg->kind != WorkerMsg::Kind::kHello) {
+        error = "node " + std::to_string(index_) +
+                ": expected HELLO, got '" + *line + "'";
+        return false;
+      }
+      udp_port_ = msg->udp_port;
+      return true;
+    }
+    const std::int64_t now = net::steady_now_ns();
+    if (now >= deadline) {
+      error = "node " + std::to_string(index_) + ": handshake timed out";
+      return false;
+    }
+    pollfd pfd{control_fd_, POLLIN, 0};
+    const int wait_ms = static_cast<int>((deadline - now) / 1000000 + 1);
+    const int rv = ::poll(&pfd, 1, wait_ms);
+    if (rv <= 0) continue;
+    const ssize_t n = ::read(control_fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      error = "node " + std::to_string(index_) +
+              ": control channel closed before HELLO (worker exited?)";
+      return false;
+    }
+    lines_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool NodeProcess::send_line(std::string_view line) {
+  return writer_ && writer_->write_line(line);
+}
+
+void NodeProcess::sigstop() {
+  if (running()) ::kill(pid_, SIGSTOP);
+}
+
+void NodeProcess::sigcont() {
+  if (running()) ::kill(pid_, SIGCONT);
+}
+
+void NodeProcess::kill_hard() {
+  if (running()) {
+    ::kill(pid_, SIGKILL);
+    ::kill(pid_, SIGCONT);  // deliver the SIGKILL to a stopped process too
+  }
+}
+
+bool NodeProcess::try_reap() {
+  if (pid_ <= 0 || reaped_) return true;
+  const pid_t rv = ::waitpid(pid_, nullptr, WNOHANG);
+  if (rv == pid_) {
+    reaped_ = true;
+    unregister_live_pid(pid_);
+    close_control();
+  }
+  return reaped_;
+}
+
+void NodeProcess::kill_and_reap() {
+  if (pid_ <= 0) {
+    close_control();
+    return;
+  }
+  if (!reaped_) {
+    kill_hard();
+    ::waitpid(pid_, nullptr, 0);
+    reaped_ = true;
+    unregister_live_pid(pid_);
+  }
+  close_control();
+}
+
+Address NodeProcess::address() const {
+  return Address{(127u << 24) | 1u, udp_port_};
+}
+
+void NodeProcess::close_control() {
+  if (control_fd_ >= 0) {
+    ::close(control_fd_);
+    control_fd_ = -1;
+  }
+  writer_.reset();
+}
+
+}  // namespace lifeguard::live

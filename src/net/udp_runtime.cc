@@ -11,17 +11,13 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/fault_filter.h"
+
 namespace lifeguard::net {
 
 namespace {
 
 constexpr std::size_t kMaxDatagram = 60 * 1024;
-
-std::int64_t steady_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 sockaddr_in to_sockaddr(const Address& a) {
   sockaddr_in sa{};
@@ -32,6 +28,12 @@ sockaddr_in to_sockaddr(const Address& a) {
 }
 
 }  // namespace
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 UdpRuntime::UdpRuntime(std::uint16_t port, std::uint64_t seed) : rng_(seed) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
@@ -56,7 +58,7 @@ UdpRuntime::UdpRuntime(std::uint16_t port, std::uint64_t seed) : rng_(seed) {
   }
   ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
   ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
-  epoch_ns_ = steady_ns();
+  epoch_ns_ = steady_now_ns();
 }
 
 UdpRuntime::~UdpRuntime() {
@@ -89,7 +91,7 @@ void UdpRuntime::shutdown() {
 }
 
 TimePoint UdpRuntime::now() const {
-  return TimePoint{(steady_ns() - epoch_ns_) / 1000};
+  return TimePoint{(steady_now_ns() - epoch_ns_) / 1000};
 }
 
 TimerId UdpRuntime::schedule(Duration delay, Task fn) {
@@ -103,6 +105,13 @@ void UdpRuntime::cancel(TimerId id) {
   if (id != kInvalidTimer) cancelled_.insert(id);
 }
 
+void UdpRuntime::raw_send(const Address& to,
+                          const std::vector<std::uint8_t>& framed) {
+  const sockaddr_in sa = to_sockaddr(to);
+  ::sendto(fd_, framed.data(), framed.size(), 0,
+           reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+}
+
 void UdpRuntime::send(const Address& to, std::vector<std::uint8_t> payload,
                       Channel channel) {
   if (payload.size() + 1 > kMaxDatagram) return;
@@ -112,9 +121,24 @@ void UdpRuntime::send(const Address& to, std::vector<std::uint8_t> payload,
   framed.reserve(payload.size() + 1);
   framed.push_back(static_cast<std::uint8_t>(channel));
   framed.insert(framed.end(), payload.begin(), payload.end());
-  const sockaddr_in sa = to_sockaddr(to);
-  ::sendto(fd_, framed.data(), framed.size(), 0,
-           reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+
+  if (filter_ != nullptr) {
+    const EgressPlan plan =
+        filter_->on_egress(to, channel, payload.size(), rng_);
+    if (plan.drop) return;
+    if (plan.duplicate) {
+      // The copy rides the timer heap even at zero extra delay, so the
+      // original always hits the wire first.
+      schedule(plan.delay + plan.duplicate_delay,
+               [this, to, copy = framed] { raw_send(to, copy); });
+    }
+    if (plan.delay > Duration{0}) {
+      schedule(plan.delay,
+               [this, to, framed = std::move(framed)] { raw_send(to, framed); });
+      return;
+    }
+  }
+  raw_send(to, framed);
 }
 
 Duration UdpRuntime::time_to_next_timer() const {
@@ -138,6 +162,15 @@ void UdpRuntime::run_due_timers() {
   }
 }
 
+void UdpRuntime::deliver(const Address& from, std::vector<std::uint8_t> payload,
+                         Channel channel) {
+  if (handler_ != nullptr && !payload.empty()) {
+    handler_->on_packet(
+        from, std::span<const std::uint8_t>(payload.data(), payload.size()),
+        channel);
+  }
+}
+
 void UdpRuntime::drain_socket() {
   std::uint8_t buf[kMaxDatagram];
   while (true) {
@@ -149,12 +182,27 @@ void UdpRuntime::drain_socket() {
     if (n <= 0) break;
     const Address peer{ntohl(from.sin_addr.s_addr), ntohs(from.sin_port)};
     const auto ch = static_cast<Channel>(buf[0]);
-    if (handler_ != nullptr && n > 1) {
-      handler_->on_packet(
-          peer, std::span<const std::uint8_t>(buf + 1,
-                                              static_cast<std::size_t>(n - 1)),
-          ch);
+    if (handler_ == nullptr || n <= 1) continue;
+    const std::size_t len = static_cast<std::size_t>(n - 1);
+
+    if (filter_ != nullptr) {
+      const IngressPlan plan = filter_->on_ingress(peer, ch, len, rng_);
+      if (plan.drop) continue;
+      if (plan.duplicate || plan.delay > Duration{0}) {
+        std::vector<std::uint8_t> payload(buf + 1, buf + 1 + len);
+        if (plan.duplicate) {
+          schedule(plan.delay + plan.duplicate_delay,
+                   [this, peer, copy = payload, ch] { deliver(peer, copy, ch); });
+        }
+        if (plan.delay > Duration{0}) {
+          schedule(plan.delay, [this, peer, payload = std::move(payload), ch] {
+            deliver(peer, payload, ch);
+          });
+          continue;
+        }
+      }
     }
+    handler_->on_packet(peer, std::span<const std::uint8_t>(buf + 1, len), ch);
   }
 }
 

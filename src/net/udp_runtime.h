@@ -31,6 +31,14 @@
 
 namespace lifeguard::net {
 
+class FaultFilter;
+
+/// Current CLOCK_MONOTONIC-style reading in nanoseconds — the raw value
+/// now() is derived from. Exposed so a parent process can capture one epoch
+/// and hand it to every worker (set_epoch_ns), putting a whole multi-process
+/// cluster on a single comparable time base.
+std::int64_t steady_now_ns();
+
 class UdpRuntime final : public Runtime {
  public:
   /// Binds a UDP socket on 127.0.0.1:`port` (port 0 picks a free port).
@@ -43,6 +51,18 @@ class UdpRuntime final : public Runtime {
 
   /// The address the socket actually bound (loopback ip + resolved port).
   Address local_address() const { return local_; }
+
+  /// Rebase now()'s origin to a steady_now_ns() reading captured elsewhere
+  /// (e.g. by the live tier's parent process), so timestamps from several
+  /// runtimes — across processes — are directly comparable. Call before
+  /// start().
+  void set_epoch_ns(std::int64_t epoch_ns) { epoch_ns_ = epoch_ns; }
+
+  /// Install (or clear, with nullptr) the per-datagram netem shim consulted
+  /// by send() and the receive path. The filter must outlive the runtime (or
+  /// be cleared first) and is invoked on the loop thread only. Install
+  /// before start(), or from a posted task.
+  void set_fault_filter(FaultFilter* filter) { filter_ = filter; }
 
   /// Attach the packet handler, then start the loop thread.
   void start(PacketHandler* handler);
@@ -76,12 +96,16 @@ class UdpRuntime final : public Runtime {
   void drain_socket();
   void run_due_timers();
   Duration time_to_next_timer() const;
+  void raw_send(const Address& to, const std::vector<std::uint8_t>& framed);
+  void deliver(const Address& from, std::vector<std::uint8_t> payload,
+               Channel channel);
 
   int fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   Address local_;
   Rng rng_;
   PacketHandler* handler_ = nullptr;
+  FaultFilter* filter_ = nullptr;
 
   std::thread thread_;
   std::atomic<bool> stopping_{false};

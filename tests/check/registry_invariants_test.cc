@@ -26,17 +26,18 @@ using harness::ScenarioRegistry;
 
 TEST(RegistryInvariants, AllScenariosPassTheFullSuite) {
   const auto& catalog = ScenarioRegistry::builtin().all();
-  ASSERT_EQ(catalog.size(), 19u) << "catalog drifted — update this suite";
+  ASSERT_EQ(catalog.size(), 23u) << "catalog drifted — update this suite";
 
   // The big-* tier (n >= 1000) runs minutes of wall time per scenario; it
   // has its own coverage (tests/big/big_scenario_test.cc runs one big
   // scenario under the full suite) and is exercised at full scale out of
-  // band. Everything else runs here.
+  // band. Everything else — including the live-* entries, which are
+  // backend-agnostic descriptors and must hold in-sim too — runs here.
   std::vector<Scenario> all;
   for (const Scenario& s : catalog) {
     if (s.cluster_size < 1000) all.push_back(s);
   }
-  ASSERT_EQ(all.size(), 15u);
+  ASSERT_EQ(all.size(), 19u);
 
   struct Outcome {
     std::string name;

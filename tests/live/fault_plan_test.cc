@@ -1,0 +1,200 @@
+// compile_timeline (src/live/fault_plan.h): lowering a fault::Timeline into
+// the flat wall-clock action list the live runner executes. The schedules
+// must keep the simulator's shape — interval cycles complete, churn spares
+// the rejoin seed, netem overlays are keyed by entry — or the two backends
+// stop being comparable.
+#include "live/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault.h"
+
+namespace lifeguard::live {
+namespace {
+
+using Kind = LiveAction::Kind;
+
+std::vector<LiveAction> actions_of(const LivePlan& plan, Kind k) {
+  std::vector<LiveAction> out;
+  for (const LiveAction& a : plan.actions) {
+    if (a.kind == k) out.push_back(a);
+  }
+  return out;
+}
+
+TEST(LiveFaultPlan, BlockLowersToStopContPair) {
+  fault::Timeline tl;
+  tl.add(sec(2), sec(5), fault::Fault::block(),
+         fault::VictimSelector::nodes({3, 6}));
+  Rng rng(1);
+  const LivePlan plan = compile_timeline(tl, 8, sec(20), rng);
+
+  const auto stops = actions_of(plan, Kind::kStop);
+  const auto conts = actions_of(plan, Kind::kCont);
+  ASSERT_EQ(stops.size(), 2u);
+  ASSERT_EQ(conts.size(), 2u);
+  for (const auto& a : stops) EXPECT_EQ(a.at, sec(2));
+  for (const auto& a : conts) EXPECT_EQ(a.at, sec(7));
+  EXPECT_EQ(plan.victims, (std::vector<int>{3, 6}));
+  EXPECT_EQ(plan.entry_victims.size(), 1u);
+
+  // Actions are time-sorted and the entry's start marker precedes its
+  // same-instant stops (stable sort + markers generated first).
+  ASSERT_GE(plan.actions.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(
+      plan.actions.begin(), plan.actions.end(),
+      [](const LiveAction& a, const LiveAction& b) { return a.at < b.at; }));
+  EXPECT_EQ(plan.actions.front().kind, Kind::kFaultStart);
+}
+
+TEST(LiveFaultPlan, IntervalCyclesBegunBeforeEndComplete) {
+  // 3s period + 1s gap over a 10s span: cycles start at 0, 4, 8 — the last
+  // one begins inside the span and runs to completion at 11s, exactly like
+  // sim::schedule_interval_anomaly.
+  fault::Timeline tl;
+  tl.add(sec(0), sec(10), fault::Fault::interval_block(sec(3), sec(1)),
+         fault::VictimSelector::nodes({2}));
+  Rng rng(1);
+  const LivePlan plan = compile_timeline(tl, 8, sec(20), rng);
+
+  const auto stops = actions_of(plan, Kind::kStop);
+  const auto conts = actions_of(plan, Kind::kCont);
+  ASSERT_EQ(stops.size(), 3u);
+  ASSERT_EQ(conts.size(), 3u);
+  EXPECT_EQ(stops[0].at, sec(0));
+  EXPECT_EQ(stops[1].at, sec(4));
+  EXPECT_EQ(stops[2].at, sec(8));
+  EXPECT_EQ(conts[2].at, sec(11));  // completes past span end
+  // plan_total_run stretches the observation window to cover it.
+  EXPECT_GE(plan.total_run.us, sec(11).us);
+}
+
+TEST(LiveFaultPlan, ChurnSparesTheRejoinSeedAndPairsKillRespawn) {
+  // Cycle (2s down + 3s up) <= span, so whatever phase the rng draws, at
+  // least one kill lands inside the span (matching sim::schedule_churn,
+  // where a phase past the span end legitimately yields no churn at all).
+  fault::Timeline tl;
+  tl.add(sec(0), sec(10), fault::Fault::churn(sec(2), sec(3)),
+         fault::VictimSelector::nodes({0, 4}));
+  Rng rng(7);
+  const LivePlan plan = compile_timeline(tl, 8, sec(20), rng);
+
+  const auto kills = actions_of(plan, Kind::kKill);
+  const auto spawns = actions_of(plan, Kind::kRespawn);
+  ASSERT_FALSE(kills.empty());
+  ASSERT_EQ(kills.size(), spawns.size());
+  for (const auto& a : kills) EXPECT_NE(a.node, 0);  // node 0 is the seed
+  for (std::size_t i = 0; i < kills.size(); ++i) {
+    EXPECT_EQ(spawns[i].node, kills[i].node);
+    EXPECT_EQ(spawns[i].at, kills[i].at + sec(2));  // one downtime apart
+  }
+}
+
+TEST(LiveFaultPlan, FlappingDrawsAPhasePerVictimInsideOneCycle) {
+  fault::Timeline tl;
+  tl.add(sec(0), sec(30), fault::Fault::flapping(sec(4), sec(2)),
+         fault::VictimSelector::nodes({1, 2, 3}));
+  Rng rng(42);
+  const LivePlan plan = compile_timeline(tl, 8, sec(30), rng);
+
+  // Every victim's first stop lands inside [0, cycle) and subsequent stops
+  // repeat at the 6s cycle.
+  for (int v : {1, 2, 3}) {
+    std::vector<Duration> at;
+    for (const auto& a : actions_of(plan, Kind::kStop)) {
+      if (a.node == v) at.push_back(a.at);
+    }
+    ASSERT_GE(at.size(), 2u) << "victim " << v;
+    EXPECT_LT(at[0].us, sec(6).us);
+    for (std::size_t i = 1; i < at.size(); ++i) {
+      EXPECT_EQ(at[i].us - at[i - 1].us, sec(6).us);
+    }
+  }
+}
+
+TEST(LiveFaultPlan, NetworkFaultsBecomeTokenedNetemOverlays) {
+  fault::Timeline tl;
+  tl.add(sec(0), sec(10), fault::Fault::link_loss(0.25, 0.1),
+         fault::VictimSelector::nodes({2, 5}));
+  tl.add(sec(3), sec(4), fault::Fault::latency(msec(30), msec(20)),
+         fault::VictimSelector::nodes({2}));
+  Rng rng(1);
+  const LivePlan plan = compile_timeline(tl, 8, sec(20), rng);
+
+  const auto adds = actions_of(plan, Kind::kNetemAdd);
+  const auto dels = actions_of(plan, Kind::kNetemDel);
+  ASSERT_EQ(adds.size(), 3u);
+  ASSERT_EQ(dels.size(), 3u);
+  // Tokens are timeline entry indices, so node 2 can carry both overlays
+  // and shed them independently.
+  int loss_tokens = 0, latency_tokens = 0;
+  for (const auto& a : adds) {
+    if (a.token == 0) {
+      ++loss_tokens;
+      EXPECT_DOUBLE_EQ(a.overlay.egress_loss, 0.25);
+      EXPECT_DOUBLE_EQ(a.overlay.ingress_loss, 0.1);
+    } else if (a.token == 1) {
+      ++latency_tokens;
+      EXPECT_EQ(a.node, 2);
+      EXPECT_EQ(a.overlay.extra_latency, msec(30));
+      EXPECT_EQ(a.overlay.jitter, msec(20));
+    }
+  }
+  EXPECT_EQ(loss_tokens, 2);
+  EXPECT_EQ(latency_tokens, 1);
+}
+
+TEST(LiveFaultPlan, PartitionClaimsCarryTheirIsland) {
+  fault::Timeline tl;
+  tl.add(sec(2), sec(4), fault::Fault::partition(),
+         fault::VictimSelector::island(3, 4));
+  Rng rng(1);
+  const LivePlan plan = compile_timeline(tl, 10, sec(20), rng);
+
+  const auto adds = actions_of(plan, Kind::kPartitionAdd);
+  const auto dels = actions_of(plan, Kind::kPartitionDel);
+  ASSERT_EQ(adds.size(), 1u);
+  ASSERT_EQ(dels.size(), 1u);
+  EXPECT_EQ(adds[0].at, sec(2));
+  EXPECT_EQ(dels[0].at, sec(6));
+  EXPECT_EQ(adds[0].island, (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(adds[0].token, dels[0].token);
+}
+
+TEST(LiveFaultPlan, MarkersBracketEveryEntry) {
+  fault::Timeline tl;
+  tl.add(sec(0), sec(8), fault::Fault::stressed(),
+         fault::VictimSelector::nodes({7}));
+  tl.add(sec(2), sec(4), fault::Fault::partition(),
+         fault::VictimSelector::island(3, 4));
+  Rng rng(3);
+  const LivePlan plan = compile_timeline(tl, 10, sec(10), rng);
+
+  const auto starts = actions_of(plan, Kind::kFaultStart);
+  const auto ends = actions_of(plan, Kind::kFaultEnd);
+  ASSERT_EQ(starts.size(), 2u);
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(plan.entry_victims.size(), 2u);
+  // Stress never escapes its span start..end+last block; all stops pair
+  // with conts.
+  EXPECT_EQ(actions_of(plan, Kind::kStop).size(),
+            actions_of(plan, Kind::kCont).size());
+}
+
+TEST(LiveFaultPlan, VictimUnionDeduplicatesInFirstOccurrenceOrder) {
+  fault::Timeline tl;
+  tl.add(sec(0), sec(5), fault::Fault::block(),
+         fault::VictimSelector::nodes({5, 2}));
+  tl.add(sec(6), sec(2), fault::Fault::block(),
+         fault::VictimSelector::nodes({2, 7}));
+  Rng rng(1);
+  const LivePlan plan = compile_timeline(tl, 8, sec(20), rng);
+  EXPECT_EQ(plan.victims, (std::vector<int>{5, 2, 7}));
+}
+
+}  // namespace
+}  // namespace lifeguard::live
