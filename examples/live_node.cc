@@ -15,6 +15,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +28,7 @@
 #include "live/control.h"
 #include "net/fault_filter.h"
 #include "net/udp_runtime.h"
+#include "obs/catalog.h"
 #include "swim/node.h"
 
 using namespace lifeguard;
@@ -52,10 +54,94 @@ check::TraceEventKind member_event_kind(swim::EventType t) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --index N --port P --seed S --epoch-ns NS "
-               "--control-fd FD --tick-ms MS --config SPEC\n",
+               "--control-fd FD --tick-ms MS [--metrics-interval-us US] "
+               "--config SPEC\n",
                argv0);
   return 2;
 }
+
+/// Loop-thread telemetry self-sampler: the per-node counterpart of the sim
+/// tier's obs::Sampler. Emits one kMetricSample EV line per catalog metric
+/// each interval, node = this worker's index, so the parent's merge carries
+/// the same series schema across backends (sim-only metrics are skipped).
+class SelfSampler {
+ public:
+  SelfSampler(int index, swim::Node& node, live::LineWriter& writer)
+      : index_(index), node_(node), writer_(writer) {}
+
+  void sample(TimePoint now) {
+    const double dt = prev_at_.us > 0 ? (now - prev_at_).seconds() : 0.0;
+    auto rate = [dt](double cur, double& prev) {
+      const double d = cur - prev;
+      prev = cur;
+      return (dt > 0 && d > 0) ? d / dt : 0.0;
+    };
+
+    double suspect = 0, dead = 0;
+    for (const swim::Member* m : node_.members().all()) {
+      if (m->state == swim::MemberState::kSuspect) suspect += 1;
+      if (m->state == swim::MemberState::kDead) dead += 1;
+    }
+    const Metrics& m = node_.metrics();
+    double rtt_count = 0, rtt_sum = 0;
+    if (const auto it = m.histograms().find("probe.rtt_us");
+        it != m.histograms().end()) {
+      rtt_count = static_cast<double>(it->second.count());
+      rtt_sum = it->second.sum();
+    }
+    const double d_count = rtt_count - prev_rtt_count_;
+    const double d_sum = rtt_sum - prev_rtt_sum_;
+    prev_rtt_count_ = rtt_count;
+    prev_rtt_sum_ = rtt_sum;
+
+    const double lhm = static_cast<double>(node_.local_health().score());
+    const double pending = static_cast<double>(node_.pending_broadcasts());
+    const double msgs =
+        static_cast<double>(m.counter_value("net.msgs_sent"));
+
+    emit(now, obs::Metric::kMembersActive,
+         static_cast<double>(node_.members().num_active()));
+    emit(now, obs::Metric::kMembersSuspect, suspect);
+    emit(now, obs::Metric::kMembersDead, dead);
+    emit(now, obs::Metric::kLhmMean, lhm);
+    emit(now, obs::Metric::kLhmMax, lhm);
+    emit(now, obs::Metric::kProbeRttMeanUs, d_count > 0 ? d_sum / d_count : 0);
+    emit(now, obs::Metric::kProbeNackRate,
+         rate(static_cast<double>(m.counter_value("probe.nack_received")),
+              prev_nacks_));
+    emit(now, obs::Metric::kProbeFailRate,
+         rate(static_cast<double>(m.counter_value("probe.failed")),
+              prev_fails_));
+    emit(now, obs::Metric::kNetMsgsRate, rate(msgs, prev_msgs_));
+    emit(now, obs::Metric::kNetMsgsTotal, msgs);
+    emit(now, obs::Metric::kNetBytesTotal,
+         static_cast<double>(m.counter_value("net.bytes_sent")));
+    emit(now, obs::Metric::kGossipPendingMean, pending);
+    emit(now, obs::Metric::kGossipPendingMax, pending);
+    emit(now, obs::Metric::kGossipTransmitsRate,
+         rate(static_cast<double>(node_.broadcasts().total_transmits()),
+              prev_transmits_));
+    prev_at_ = now;
+  }
+
+ private:
+  void emit(TimePoint at, obs::Metric metric, double value) {
+    check::TraceEvent e;
+    e.at = at;
+    e.kind = check::TraceEventKind::kMetricSample;
+    e.node = index_;
+    e.peer = static_cast<int>(metric);
+    e.value = value;
+    writer_.write_line(live::event_msg_line(e));
+  }
+
+  int index_;
+  swim::Node& node_;
+  live::LineWriter& writer_;
+  TimePoint prev_at_{};
+  double prev_nacks_ = 0, prev_fails_ = 0, prev_msgs_ = 0;
+  double prev_transmits_ = 0, prev_rtt_count_ = 0, prev_rtt_sum_ = 0;
+};
 
 }  // namespace
 
@@ -66,6 +152,7 @@ int main(int argc, char** argv) {
   long long epoch_ns = 0;
   int control_fd = -1;
   long tick_ms = 200;
+  long long metrics_interval_us = 0;
   std::string config_spec;
 
   for (int i = 1; i + 1 < argc; i += 2) {
@@ -77,6 +164,7 @@ int main(int argc, char** argv) {
     else if (flag == "--epoch-ns") epoch_ns = std::atoll(val);
     else if (flag == "--control-fd") control_fd = std::atoi(val);
     else if (flag == "--tick-ms") tick_ms = std::atol(val);
+    else if (flag == "--metrics-interval-us") metrics_interval_us = std::atoll(val);
     else if (flag == "--config") config_spec = val;
     else return usage(argv[0]);
   }
@@ -130,6 +218,22 @@ int main(int argc, char** argv) {
     rt.schedule(tick, [&] { tick_fn(); });
   };
   rt.post([&] { rt.schedule(tick, [&] { tick_fn(); }); });
+
+  // Telemetry self-sampling, same loop-thread pattern as the TICK watermark.
+  // Samples are EV lines, so they ride the merged trace like any other event
+  // (and the parent's TraceRecorder captures them for offline analysis).
+  SelfSampler sampler(index, node, writer);
+  std::function<void()> sample_fn;
+  if (metrics_interval_us > 0) {
+    const Duration metrics_interval{metrics_interval_us};
+    sample_fn = [&, metrics_interval] {
+      sampler.sample(rt.now());
+      rt.schedule(metrics_interval, [&] { sample_fn(); });
+    };
+    rt.post([&, metrics_interval] {
+      rt.schedule(metrics_interval, [&] { sample_fn(); });
+    });
+  }
 
   writer.write_line(
       live::hello_line(index, ::getpid(), rt.local_address().port));

@@ -54,7 +54,20 @@
 //   ./examples/scenario_runner --replay FILE
 //       Rebuild the scenario a trace describes, re-execute it, and verify
 //       the replayed stream matches the recording bit for bit; exits
-//       nonzero on divergence.
+//       nonzero on divergence. With --metrics-out DIR, the metric samples
+//       recorded in the trace are extracted and exported offline instead —
+//       no re-execution.
+//
+//   ./examples/scenario_runner --metrics-out DIR [--metrics-interval MS]
+//                              [--spans] [flags]
+//       Telemetry (src/obs): sample the cluster every MS of virtual time
+//       (default 500 ms when --metrics-out is given) and write DIR/
+//       series.jsonl (one sample per line; schema in docs/observability.md)
+//       plus DIR/metrics.prom (Prometheus text exposition of the final
+//       values). In campaign mode the per-trial series fold into
+//       per-(time, metric) percentile bands: DIR/bands.jsonl and
+//       DIR/bands.csv. --spans additionally records probe-round span events
+//       (probe-start/ack/indirect/fail/nack) into --trace recordings.
 //
 //   ./examples/scenario_runner --backend live [flags]
 //       Execute the scenario on the live tier (src/live) instead of the
@@ -83,6 +96,7 @@
 //
 // Exit codes: 0 success, 2 usage / malformed input, 3 invariant violations,
 // 4 replay divergence, 5 live-run watchdog timeout.
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -108,6 +122,7 @@
 #include "live/process.h"
 #include "live/runner.h"
 #include "net/udp_runtime.h"
+#include "obs/export.h"
 
 using namespace lifeguard;
 using namespace lifeguard::harness;
@@ -333,12 +348,52 @@ void report_checks(const check::RunReport& cr) {
   }
 }
 
-int run_replay(const std::string& path) {
+/// Write DIR/series.jsonl + DIR/metrics.prom from one run's series. Returns
+/// 0, or 2 when the directory/file cannot be created.
+int write_metrics_artifacts(const std::string& dir, const obs::Series& series) {
+  ::mkdir(dir.c_str(), 0755);  // EEXIST is fine; open errors are caught below
+  const std::string series_path = dir + "/series.jsonl";
+  std::ofstream js(series_path);
+  if (!js) {
+    std::fprintf(stderr, "scenario_runner: cannot write %s\n",
+                 series_path.c_str());
+    return 2;
+  }
+  obs::write_series_jsonl(js, series);
+  const std::string prom_path = dir + "/metrics.prom";
+  std::ofstream prom(prom_path);
+  if (!prom) {
+    std::fprintf(stderr, "scenario_runner: cannot write %s\n",
+                 prom_path.c_str());
+    return 2;
+  }
+  obs::write_prometheus(prom, series);
+  std::printf("metrics: %s (%zu samples), %s\n", series_path.c_str(),
+              series.size(), prom_path.c_str());
+  return 0;
+}
+
+int run_replay(const std::string& path,
+               const std::optional<std::string>& metrics_out) {
   std::string error;
   const auto loaded = check::load_trace_file(path, error);
   if (!loaded) {
     std::fprintf(stderr, "scenario_runner: --replay: %s\n", error.c_str());
     return 2;
+  }
+  if (metrics_out) {
+    // Offline re-analysis: the samples are already in the trace, so no
+    // re-execution is needed to export them.
+    obs::Series series;
+    for (const check::TraceEvent& e : loaded->events) {
+      if (e.kind != check::TraceEventKind::kMetricSample) continue;
+      const auto m = obs::metric_from_id(e.peer);
+      if (!m) continue;
+      series.push_back(obs::Sample{e.at, *m, e.node, e.value});
+    }
+    std::printf("extracting metrics from %s: %zu samples of %zu events\n",
+                path.c_str(), series.size(), loaded->events.size());
+    return write_metrics_artifacts(*metrics_out, series);
   }
   std::printf("replaying %s: scenario '%s', seed %llu, %zu recorded "
               "events\n",
@@ -406,6 +461,9 @@ int main(int argc, char** argv) {
   int reps = 5;
   int jobs = 0;  // 0 = one worker per hardware thread
   std::optional<std::string> json_path, csv_path, trace_path, replay_path;
+  std::optional<std::string> metrics_out;
+  std::optional<Duration> metrics_interval;
+  bool spans = false;
   std::optional<Duration> suspicion_cap;
   harness::Backend backend = harness::Backend::kSim;
   std::optional<Duration> watchdog_timeout;
@@ -463,6 +521,12 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (arg == "--replay") {
       replay_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--metrics-interval") {
+      metrics_interval = msec(parse_int(arg, next(), 1, 86400000));
+    } else if (arg == "--spans") {
+      spans = true;
     } else if (arg == "--reps") {
       reps = static_cast<int>(parse_int(arg, next(), 1, 100000));
     } else if (arg == "--jobs") {
@@ -486,11 +550,12 @@ int main(int argc, char** argv) {
   }
 
   if (replay_path) {
-    if (argc != 3) {
+    if (argc != 3 + (metrics_out ? 2 : 0)) {
       usage_error("--replay FILE re-executes a recorded trace and takes no "
-                  "other flags — the trace header is the scenario");
+                  "other flags (except --metrics-out DIR for offline metric "
+                  "extraction) — the trace header is the scenario");
     }
-    return run_replay(*replay_path);
+    return run_replay(*replay_path, metrics_out);
   }
 
   if (nodes) s.cluster_size = *nodes;
@@ -545,6 +610,11 @@ int main(int argc, char** argv) {
 
   if (check_mode) s.checks = check::Spec::all();
   if (suspicion_cap) s.checks.suspicion_cap = *suspicion_cap;
+  if (metrics_interval) {
+    s.metrics_interval = *metrics_interval;
+  } else if (metrics_out && s.metrics_interval <= Duration{0}) {
+    s.metrics_interval = msec(500);
+  }
 
   if (backend == harness::Backend::kLive && campaign_mode) {
     usage_error("--campaign is simulator-only: a statistical sweep needs the "
@@ -610,6 +680,25 @@ int main(int argc, char** argv) {
       report_campaign(result);
       if (json_path) std::printf("\nJSONL artifact: %s\n", json_path->c_str());
       if (csv_path) std::printf("CSV artifact: %s\n", csv_path->c_str());
+      if (metrics_out) {
+        // Runner campaigns have one grid point; its folded bands are the
+        // campaign's metric artifact.
+        const auto& bands = result.points.front().series;
+        ::mkdir(metrics_out->c_str(), 0755);
+        const std::string bands_jsonl = *metrics_out + "/bands.jsonl";
+        const std::string bands_csv = *metrics_out + "/bands.csv";
+        std::ofstream bj(bands_jsonl), bc(bands_csv);
+        if (!bj || !bc) {
+          std::fprintf(stderr, "scenario_runner: cannot write under %s\n",
+                       metrics_out->c_str());
+          return 2;
+        }
+        obs::write_bands_jsonl(bj, bands);
+        obs::write_bands_csv(bc, bands);
+        std::printf("metrics: %s, %s (%zu bands over %d trials)\n",
+                    bands_jsonl.c_str(), bands_csv.c_str(), bands.size(),
+                    result.points.front().trials);
+      }
       int violating = 0;
       for (const PointStats& ps : result.points) {
         violating += ps.violating_trials;
@@ -631,7 +720,8 @@ int main(int argc, char** argv) {
       std::optional<check::TraceRecorder> recorder;
       std::vector<check::TraceSink*> sinks;
       if (trace_path || check_mode) {
-        recorder.emplace(s);
+        recorder.emplace(s, /*include_datagrams=*/false,
+                         /*include_probe_spans=*/spans);
         sinks.push_back(&*recorder);
       }
       harness::RunOptions run_opts;
@@ -641,6 +731,10 @@ int main(int argc, char** argv) {
       const RunResult r = run(s, run_opts, sinks);
       report(r);
       if (r.checks.checked) report_checks(r.checks);
+      if (metrics_out) {
+        const int rc = write_metrics_artifacts(*metrics_out, r.series);
+        if (rc != 0) return rc;
+      }
 
       std::string save_to;
       if (trace_path) {

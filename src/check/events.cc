@@ -30,6 +30,18 @@ const char* trace_event_kind_name(TraceEventKind k) {
       return "fault-end";
     case TraceEventKind::kDatagram:
       return "datagram";
+    case TraceEventKind::kMetricSample:
+      return "metric";
+    case TraceEventKind::kProbeStart:
+      return "probe-start";
+    case TraceEventKind::kProbeAck:
+      return "probe-ack";
+    case TraceEventKind::kProbeIndirect:
+      return "probe-indirect";
+    case TraceEventKind::kProbeFail:
+      return "probe-fail";
+    case TraceEventKind::kProbeNack:
+      return "probe-nack";
   }
   return "?";
 }
@@ -40,7 +52,10 @@ std::optional<TraceEventKind> trace_event_kind_from_name(std::string_view n) {
         TraceEventKind::kFailed, TraceEventKind::kLeft, TraceEventKind::kCrash,
         TraceEventKind::kRestart, TraceEventKind::kBlock,
         TraceEventKind::kUnblock, TraceEventKind::kFaultStart,
-        TraceEventKind::kFaultEnd, TraceEventKind::kDatagram}) {
+        TraceEventKind::kFaultEnd, TraceEventKind::kDatagram,
+        TraceEventKind::kMetricSample, TraceEventKind::kProbeStart,
+        TraceEventKind::kProbeAck, TraceEventKind::kProbeIndirect,
+        TraceEventKind::kProbeFail, TraceEventKind::kProbeNack}) {
     if (n == trace_event_kind_name(k)) return k;
   }
   return std::nullopt;
@@ -53,6 +68,19 @@ bool is_member_event(TraceEventKind k) {
     case TraceEventKind::kSuspect:
     case TraceEventKind::kFailed:
     case TraceEventKind::kLeft:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_probe_span_event(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kProbeStart:
+    case TraceEventKind::kProbeAck:
+    case TraceEventKind::kProbeIndirect:
+    case TraceEventKind::kProbeFail:
+    case TraceEventKind::kProbeNack:
       return true;
     default:
       return false;
@@ -86,6 +114,13 @@ std::string TraceEvent::describe() const {
   } else if (kind == TraceEventKind::kFaultStart ||
              kind == TraceEventKind::kFaultEnd) {
     os << " entry " << peer;
+  } else if (kind == TraceEventKind::kMetricSample) {
+    os << " #" << peer;
+    if (node >= 0) os << " node-" << node;
+    os << " = " << value;
+  } else if (is_probe_span_event(kind)) {
+    os << " node-" << node << " -> node-" << peer;
+    if (kind == TraceEventKind::kProbeAck) os << " (rtt " << value << "us)";
   } else {
     os << " node-" << node;
   }

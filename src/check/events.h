@@ -38,6 +38,13 @@ enum class TraceEventKind : std::uint8_t {
   kFaultStart,
   kFaultEnd,
   kDatagram,
+  // -- telemetry (obs:: sampler and probe-round spans) --
+  kMetricSample,
+  kProbeStart,
+  kProbeAck,
+  kProbeIndirect,
+  kProbeFail,
+  kProbeNack,
 };
 
 const char* trace_event_kind_name(TraceEventKind k);
@@ -59,6 +66,9 @@ struct TraceEvent {
   std::uint64_t incarnation = 0;
   /// Member events: true when the reporter itself originated the transition.
   bool originated = false;
+  /// kMetricSample: the sampled value (peer holds the obs::Metric id).
+  /// kProbeAck: the probe round-trip time in microseconds. 0 otherwise.
+  double value = 0.0;
 
   bool operator==(const TraceEvent&) const = default;
 
@@ -71,14 +81,22 @@ struct TraceEvent {
 /// this way, so the mapping is total within a simulated cluster.
 int node_index_of(std::string_view member_name);
 
+/// True for the probe-round span kinds (kProbeStart..kProbeNack).
+bool is_probe_span_event(TraceEventKind k);
+
 /// Observer of the merged stream. Sinks that return false from
 /// wants_datagrams() are not shown kDatagram records (they fire per routed
-/// datagram — high volume, and noise in a persisted trace).
+/// datagram — high volume, and noise in a persisted trace). Probe-round
+/// spans are gated the same way by wants_probe_spans(): every probe fires
+/// at least two of them, so they only flow to sinks that opt in.
+/// kMetricSample records are delivered unconditionally — they are sparse
+/// (one per metric per sampling interval) and every sink tolerates them.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void on_trace_event(const TraceEvent& e) = 0;
   virtual bool wants_datagrams() const { return false; }
+  virtual bool wants_probe_spans() const { return false; }
 };
 
 }  // namespace lifeguard::check

@@ -32,6 +32,7 @@ std::optional<harness::Scenario> scenario_from_header(const TraceHeader& h,
   s.timeline = *tl;
   s.anomaly = harness::AnomalyPlan::none();
   s.checks = h.checks;
+  s.metrics_interval = h.metrics_interval;
   if (auto errors = s.validate(); !errors.empty()) {
     error = "trace header rebuilds an invalid scenario: " + errors.front();
     return std::nullopt;
@@ -41,9 +42,10 @@ std::optional<harness::Scenario> scenario_from_header(const TraceHeader& h,
 
 ReplayResult replay(const harness::Scenario& s, const Trace& recorded) {
   ReplayResult out;
-  // Datagram records are off by default; re-record them iff the recording
-  // has them, so the two streams are comparable.
-  TraceRecorder recorder(s, recorded.has_datagrams());
+  // Datagram and probe-span records are off by default; re-record them iff
+  // the recording has them, so the two streams are comparable.
+  TraceRecorder recorder(s, recorded.has_datagrams(),
+                         recorded.header.probe_spans);
   out.result = harness::run(s, {&recorder});
   out.trace = recorder.take();
 

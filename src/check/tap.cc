@@ -40,8 +40,31 @@ TraceEventKind sim_event_kind(sim::SimEventKind k) {
       return TraceEventKind::kFaultEnd;
     case sim::SimEventKind::kDatagram:
       return TraceEventKind::kDatagram;
+    case sim::SimEventKind::kProbeStart:
+      return TraceEventKind::kProbeStart;
+    case sim::SimEventKind::kProbeAck:
+      return TraceEventKind::kProbeAck;
+    case sim::SimEventKind::kProbeIndirect:
+      return TraceEventKind::kProbeIndirect;
+    case sim::SimEventKind::kProbeFail:
+      return TraceEventKind::kProbeFail;
+    case sim::SimEventKind::kProbeNack:
+      return TraceEventKind::kProbeNack;
   }
   return TraceEventKind::kDatagram;
+}
+
+bool is_probe_span(sim::SimEventKind k) {
+  switch (k) {
+    case sim::SimEventKind::kProbeStart:
+    case sim::SimEventKind::kProbeAck:
+    case sim::SimEventKind::kProbeIndirect:
+    case sim::SimEventKind::kProbeFail:
+    case sim::SimEventKind::kProbeNack:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -50,6 +73,7 @@ EventTap::EventTap(sim::Simulator& sim, std::vector<TraceSink*> sinks)
     : sim_(sim), sinks_(std::move(sinks)) {
   for (const TraceSink* s : sinks_) {
     any_wants_datagrams_ = any_wants_datagrams_ || s->wants_datagrams();
+    any_wants_probe_spans_ = any_wants_probe_spans_ || s->wants_probe_spans();
   }
   bus_sub_ = sim.event_bus().subscribe([this](const swim::MemberEvent& me) {
     TraceEvent e;
@@ -66,11 +90,13 @@ EventTap::EventTap(sim::Simulator& sim, std::vector<TraceSink*> sinks)
     if (se.kind == sim::SimEventKind::kDatagram && !any_wants_datagrams_) {
       return;
     }
+    if (is_probe_span(se.kind) && !any_wants_probe_spans_) return;
     TraceEvent e;
     e.at = se.at;
     e.kind = sim_event_kind(se.kind);
     e.node = se.node;
     e.peer = se.peer;
+    e.value = se.value;
     forward(e);
   });
 }
@@ -79,8 +105,10 @@ EventTap::~EventTap() { sim_.remove_sim_tap(sim_tap_token_); }
 
 void EventTap::forward(const TraceEvent& e) {
   const bool datagram = e.kind == TraceEventKind::kDatagram;
+  const bool span = is_probe_span_event(e.kind);
   for (TraceSink* s : sinks_) {
     if (datagram && !s->wants_datagrams()) continue;
+    if (span && !s->wants_probe_spans()) continue;
     s->on_trace_event(e);
   }
 }

@@ -38,6 +38,7 @@ class EventTap {
   sim::Simulator& sim_;
   std::vector<TraceSink*> sinks_;
   bool any_wants_datagrams_ = false;
+  bool any_wants_probe_spans_ = false;
   swim::EventBus::Subscription bus_sub_;
   int sim_tap_token_ = 0;
 };

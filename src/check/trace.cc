@@ -24,6 +24,13 @@ bool Trace::has_datagrams() const {
   return false;
 }
 
+bool Trace::has_probe_spans() const {
+  for (const TraceEvent& e : events) {
+    if (is_probe_span_event(e.kind)) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // Header derivation & timeline specs
 
@@ -146,12 +153,16 @@ TraceHeader make_header(const harness::Scenario& s) {
   h.recv_buffer_bytes = s.recv_buffer_bytes;
   h.timeline = timeline_specs(s.effective_timeline());
   h.checks = s.checks;
+  h.metrics_interval = s.metrics_interval;
   return h;
 }
 
-TraceRecorder::TraceRecorder(const harness::Scenario& s, bool include_datagrams)
-    : include_datagrams_(include_datagrams) {
+TraceRecorder::TraceRecorder(const harness::Scenario& s, bool include_datagrams,
+                             bool include_probe_spans)
+    : include_datagrams_(include_datagrams),
+      include_probe_spans_(include_probe_spans) {
   trace_.header = make_header(s);
+  trace_.header.probe_spans = include_probe_spans;
 }
 
 void TraceRecorder::on_trace_event(const TraceEvent& e) {
@@ -183,6 +194,7 @@ std::string event_line(const TraceEvent& e) {
   if (e.origin >= 0) out += ",\"o\":" + std::to_string(e.origin);
   if (e.incarnation != 0) out += ",\"inc\":" + std::to_string(e.incarnation);
   if (e.originated) out += ",\"og\":1";
+  if (e.value != 0.0) out += ",\"v\":" + json_double(e.value);
   out += "}";
   return out;
 }
@@ -210,7 +222,9 @@ void save_trace(const Trace& t, std::ostream& out) {
       << ",\"slack\":" << json_double(h.checks.timeout_slack)
       << ",\"settle_us\":" << h.checks.convergence_settle.us
       << ",\"cap_us\":" << h.checks.suspicion_cap.us
-      << ",\"max_violations\":" << h.checks.max_violations << "}\n";
+      << ",\"max_violations\":" << h.checks.max_violations
+      << ",\"metrics_us\":" << h.metrics_interval.us
+      << ",\"spans\":" << (h.probe_spans ? "true" : "false") << "}\n";
   for (const TraceEvent& e : t.events) {
     out << event_line(e) << "\n";
   }
@@ -529,6 +543,14 @@ bool parse_header(const JsonObject& o, TraceHeader& h, std::string& error) {
   if (!get_i64(o, "cap_us", h.checks.suspicion_cap.us, error)) return false;
   if (!get_i64(o, "max_violations", i64, error)) return false;
   h.checks.max_violations = static_cast<std::size_t>(i64);
+  // Telemetry fields are optional: pre-telemetry traces omit them.
+  if (!get_i64(o, "metrics_us", h.metrics_interval.us, error,
+               /*required=*/false)) {
+    return false;
+  }
+  if (const JsonValue* spans = field(o, "spans")) {
+    h.probe_spans = spans->boolean;
+  }
   return true;
 }
 
@@ -557,6 +579,9 @@ bool parse_event(const JsonObject& o, TraceEvent& e, std::string& error) {
   i64 = 0;
   if (!get_i64(o, "og", i64, error, /*required=*/false)) return false;
   e.originated = i64 != 0;
+  if (field(o, "v") != nullptr) {
+    if (!get_dbl(o, "v", e.value, error)) return false;
+  }
   return true;
 }
 

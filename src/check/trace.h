@@ -49,6 +49,11 @@ struct TraceHeader {
   std::vector<std::string> timeline;
   /// The run's check Spec (replays re-check with identical settings).
   Spec checks;
+  /// Snapshot sampling interval (0 = telemetry off). Carried so a replay
+  /// re-emits the same kMetricSample stream the recording produced.
+  Duration metrics_interval{};
+  /// True when the recording captured probe-round span events.
+  bool probe_spans = false;
 };
 
 struct Trace {
@@ -56,6 +61,7 @@ struct Trace {
   std::vector<TraceEvent> events;
 
   bool has_datagrams() const;
+  bool has_probe_spans() const;
 };
 
 /// Retains the merged stream of one engine run (pass to harness::run's
@@ -63,16 +69,19 @@ struct Trace {
 class TraceRecorder : public TraceSink {
  public:
   explicit TraceRecorder(const harness::Scenario& s,
-                         bool include_datagrams = false);
+                         bool include_datagrams = false,
+                         bool include_probe_spans = false);
 
   void on_trace_event(const TraceEvent& e) override;
   bool wants_datagrams() const override { return include_datagrams_; }
+  bool wants_probe_spans() const override { return include_probe_spans_; }
 
   const Trace& trace() const { return trace_; }
   Trace take() { return std::move(trace_); }
 
  private:
   bool include_datagrams_;
+  bool include_probe_spans_;
   Trace trace_;
 };
 

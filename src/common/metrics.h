@@ -19,6 +19,7 @@ class Counter {
   void add(std::int64_t v = 1) { value_ += v; }
   std::int64_t value() const { return value_; }
   void reset() { value_ = 0; }
+  bool operator==(const Counter&) const = default;
 
  private:
   std::int64_t value_ = 0;

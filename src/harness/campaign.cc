@@ -252,6 +252,22 @@ void fold_point_stats(const std::vector<GridPoint>& grid,
     out[p].bytes = bytes[p].summary();
     out[p].violations = viols[p].summary();
   }
+
+  // Telemetry bands: fold each point's per-trial series (trials is already
+  // in trial-index order, so the fold is jobs-invariant).
+  std::vector<std::vector<const obs::Series*>> per_point(grid.size());
+  bool any_series = false;
+  for (const TrialResult& t : trials) {
+    if (t.result.series.empty()) continue;
+    any_series = true;
+    per_point[static_cast<std::size_t>(t.point_index)].push_back(
+        &t.result.series);
+  }
+  if (any_series) {
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      out[p].series = obs::fold_series_bands(per_point[p]);
+    }
+  }
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include "common/metrics.h"
 #include "harness/experiment.h"
 #include "harness/scenario.h"
+#include "obs/export.h"
 
 namespace lifeguard::harness {
 
@@ -158,6 +159,10 @@ struct PointStats {
   int violating_trials = 0;
   Histogram first_detect;  ///< merged latency samples, seconds
   Histogram full_dissem;   ///< merged latency samples, seconds
+  /// Telemetry series folded across repetitions into per-(time, metric)
+  /// percentile bands (empty unless base.metrics_interval > 0). Folded
+  /// post-join in trial-index order, so jobs-invariant like everything else.
+  std::vector<obs::SeriesBand> series;
 };
 
 struct CampaignResult {

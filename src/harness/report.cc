@@ -175,6 +175,14 @@ void JsonlReporter::end(const CampaignResult& r) {
          << ",\"checked_trials\":" << ps.checked_trials
          << ",\"violating_trials\":" << ps.violating_trials
          << ",\"violations\":" << summary_json(ps.violations) << "}\n";
+    for (const obs::SeriesBand& b : ps.series) {
+      out_ << "{\"type\":\"series-band\",\"point\":" << ps.point_index
+           << ",\"t\":" << json_double(static_cast<double>(b.at.us) / 1e6)
+           << ",\"metric\":\"" << obs::metric_name(b.metric)
+           << "\",\"id\":" << static_cast<int>(b.metric)
+           << ",\"node\":" << b.node << ",\"band\":" << summary_json(b.stats)
+           << "}\n";
+    }
   }
   out_.flush();
 }

@@ -9,6 +9,7 @@
 #include "check/tap.h"
 #include "cluster/cluster.h"
 #include "fault/injector.h"
+#include "obs/sampler.h"
 #include "sim/simulator.h"
 #include "swim/events.h"
 
@@ -178,6 +179,10 @@ std::vector<std::string> Scenario::validate() const {
   }
   if (msg_proc_cost.is_negative()) {
     fail("msg_proc_cost (" + secs(msg_proc_cost) + ") must be >= 0");
+  }
+  if (metrics_interval.is_negative()) {
+    fail("metrics_interval (" + secs(metrics_interval) +
+         ") must be >= 0 — zero disables telemetry sampling");
   }
   if (network.udp_loss < 0.0 || network.udp_loss > 1.0) {
     fail("network.udp_loss (" + std::to_string(network.udp_loss) +
@@ -418,6 +423,15 @@ RunResult run(const Scenario& s, const std::vector<check::TraceSink*>& sinks) {
   std::optional<check::EventTap> tap;
   if (!all_sinks.empty()) tap.emplace(sim, all_sinks);
 
+  // Telemetry snapshots (obs::Sampler): scheduled before start() so the first
+  // tick lands exactly one interval into virtual time — a replayed run's
+  // sampler starts the same way, keeping the recorded series bit-identical.
+  std::optional<obs::Sampler> sampler;
+  if (s.metrics_interval > Duration{0}) {
+    sampler.emplace(sim, s.metrics_interval, all_sinks);
+    sampler->start();
+  }
+
   cluster->start();
   cluster->run_for(s.quiesce);
 
@@ -435,6 +449,7 @@ RunResult run(const Scenario& s, const std::vector<check::TraceSink*>& sinks) {
   out.cluster_size = s.cluster_size;
   out.victims = outcome.victims;
   extract_results(sim, outcome.victims, start, out);
+  if (sampler) out.series = sampler->take_series();
   if (checker) {
     checker->finish(sim.now());
     out.checks = checker->report();

@@ -31,6 +31,7 @@
 #include "common/metrics.h"
 #include "common/types.h"
 #include "fault/fault.h"
+#include "obs/catalog.h"
 #include "sim/anomaly.h"
 #include "sim/network.h"
 #include "swim/config.h"
@@ -142,6 +143,13 @@ struct Scenario {
   /// observation: metrics are bit-identical with checks on or off.
   check::Spec checks;
 
+  /// Telemetry snapshot cadence (obs::Sampler): every `metrics_interval` of
+  /// virtual time the engine emits one cluster-wide set of kMetricSample
+  /// trace events and appends them to RunResult::series. Zero (the default)
+  /// disables sampling. Sampling is a pure observation: protocol Rng draws
+  /// and RunResult metrics are bit-identical with sampling on or off.
+  Duration metrics_interval{};
+
   /// The timeline the engine will execute: `timeline` when non-empty,
   /// otherwise the AnomalyPlan shim's one-entry equivalent.
   fault::Timeline effective_timeline() const;
@@ -190,6 +198,10 @@ struct RunResult {
 
   /// Invariant verdicts (checked == false unless Scenario::checks.enabled).
   check::RunReport checks;
+
+  /// Telemetry time series (empty unless Scenario::metrics_interval > 0).
+  /// Campaigns keep the series even when per-trial metrics are reset.
+  obs::Series series;
 };
 
 /// The engine: validate, build a simulated cluster through ClusterBuilder,

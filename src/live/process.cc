@@ -76,6 +76,7 @@ bool NodeProcess::spawn(const Options& opts, std::string& error) {
   const std::string seed_s = std::to_string(opts.seed);
   const std::string epoch_s = std::to_string(opts.epoch_ns);
   const std::string tick_ms_s = std::to_string(opts.tick.us / 1000);
+  const std::string metrics_us_s = std::to_string(opts.metrics_interval.us);
 
   const pid_t pid = ::fork();
   if (pid < 0) {
@@ -109,6 +110,7 @@ bool NodeProcess::spawn(const Options& opts, std::string& error) {
                           "--epoch-ns", epoch_s.c_str(),
                           "--control-fd", "3",
                           "--tick-ms", tick_ms_s.c_str(),
+                          "--metrics-interval-us", metrics_us_s.c_str(),
                           "--config", opts.config_spec.c_str(),
                           nullptr};
     ::execv(opts.binary.c_str(), const_cast<char* const*>(argv));

@@ -46,6 +46,9 @@ class NodeProcess {
     std::string binary;       ///< path to the live_node executable
     std::string log_path;     ///< per-node stderr log ("" = inherit)
     Duration tick = msec(200);  ///< worker TICK cadence
+    /// Telemetry self-sampling cadence: the worker emits kMetricSample EV
+    /// lines (node = its index) every interval. 0 disables sampling.
+    Duration metrics_interval{};
   };
 
   NodeProcess() = default;

@@ -18,6 +18,7 @@
 #include "live/merge.h"
 #include "live/process.h"
 #include "net/udp_runtime.h"
+#include "obs/catalog.h"
 
 namespace lifeguard::live {
 
@@ -119,6 +120,24 @@ class StreamMetrics final : public check::TraceSink {
   std::int64_t fp_healthy_events_ = 0;
 };
 
+/// Collects the workers' kMetricSample EV lines off the merged stream into
+/// an obs::Series, so a live RunResult carries the same telemetry shape as a
+/// sim one (per-node samples instead of cluster aggregates: node >= 0).
+class SeriesCollector final : public check::TraceSink {
+ public:
+  void on_trace_event(const check::TraceEvent& e) override {
+    if (e.kind != check::TraceEventKind::kMetricSample) return;
+    const auto metric = obs::metric_from_id(e.peer);
+    if (!metric) return;
+    series_.push_back({e.at, *metric, e.node, e.value});
+  }
+
+  obs::Series take() { return std::move(series_); }
+
+ private:
+  obs::Series series_;
+};
+
 /// One cluster member slot: the (current) process behind index i, its
 /// merger stream, and end-of-run stats. Respawns replace `proc` and open a
 /// fresh stream; the old stream closes at its EOF.
@@ -168,6 +187,7 @@ class LiveRun {
       sinks_.push_back(&*checker_);
     }
     sinks_.push_back(metrics_.get());
+    if (s.metrics_interval > Duration{0}) sinks_.push_back(&series_);
     merger_.emplace(sinks_);
     seed_state_ = s.seed;
   }
@@ -227,6 +247,7 @@ class LiveRun {
   Rng plan_rng_;
   LivePlan plan_;
   std::unique_ptr<StreamMetrics> metrics_;
+  SeriesCollector series_;
   std::optional<check::Checker> checker_;
   std::vector<check::TraceSink*> sinks_;
   std::optional<TraceMerger> merger_;
@@ -256,6 +277,7 @@ void LiveRun::spawn_slot(int index, std::uint16_t port) {
   po.epoch_ns = epoch_ns_;
   po.config_spec = encode_config(s_.config);
   po.binary = binary_;
+  po.metrics_interval = s_.metrics_interval;
   if (!opts_.log_dir.empty()) {
     po.log_path = opts_.log_dir + "/node-" + std::to_string(index) + ".log";
   }
@@ -623,6 +645,7 @@ harness::RunResult LiveRun::execute() {
   }
   out.metrics.counter("net.msgs_sent").add(out.msgs_sent);
   out.metrics.counter("net.bytes_sent").add(out.bytes_sent);
+  out.series = series_.take();
   if (checker_) {
     supplement_convergence(run_end);
     checker_->finish(run_end);

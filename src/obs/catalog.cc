@@ -1,0 +1,73 @@
+#include "obs/catalog.h"
+
+namespace lifeguard::obs {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kMembersActive:
+      return "members.active";
+    case Metric::kMembersSuspect:
+      return "members.suspect";
+    case Metric::kMembersDead:
+      return "members.dead";
+    case Metric::kLhmMean:
+      return "lhm.mean";
+    case Metric::kLhmMax:
+      return "lhm.max";
+    case Metric::kProbeRttMeanUs:
+      return "probe.rtt.mean_us";
+    case Metric::kProbeNackRate:
+      return "probe.nack.rate";
+    case Metric::kProbeFailRate:
+      return "probe.fail.rate";
+    case Metric::kNetMsgsRate:
+      return "net.msgs.rate";
+    case Metric::kNetMsgsTotal:
+      return "net.msgs.total";
+    case Metric::kNetBytesTotal:
+      return "net.bytes.total";
+    case Metric::kGossipPendingMean:
+      return "gossip.pending.mean";
+    case Metric::kGossipPendingMax:
+      return "gossip.pending.max";
+    case Metric::kSimQueueDepth:
+      return "sim.queue.depth";
+    case Metric::kSimEventsRate:
+      return "sim.events.rate";
+    case Metric::kGossipTransmitsRate:
+      return "gossip.transmits.rate";
+  }
+  return "?";
+}
+
+std::optional<Metric> metric_from_id(int id) {
+  if (id < 0 || id >= kMetricCount) return std::nullopt;
+  return static_cast<Metric>(id);
+}
+
+std::optional<Metric> metric_from_name(std::string_view name) {
+  for (int id = 0; id < kMetricCount; ++id) {
+    const auto m = static_cast<Metric>(id);
+    if (name == metric_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+std::vector<Metric> all_metrics() {
+  std::vector<Metric> out;
+  out.reserve(kMetricCount);
+  for (int id = 0; id < kMetricCount; ++id) {
+    out.push_back(static_cast<Metric>(id));
+  }
+  return out;
+}
+
+std::string prometheus_metric_name(Metric m) {
+  std::string out = "lifeguard_";
+  for (const char* p = metric_name(m); *p != '\0'; ++p) {
+    out += (*p == '.') ? '_' : *p;
+  }
+  return out;
+}
+
+}  // namespace lifeguard::obs

@@ -1,0 +1,110 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace lifeguard::obs {
+
+namespace {
+
+/// std::to_chars shortest round-trip form (same idiom as the harness's
+/// json_double; obs sits below harness in the layering, so no sharing).
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  if (res.ec == std::errc{}) return std::string(buf, res.ptr);
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_time_s(TimePoint at) {
+  return fmt_double(static_cast<double>(at.us) / 1e6);
+}
+
+}  // namespace
+
+void write_series_jsonl(std::ostream& os, const Series& series) {
+  for (const Sample& s : series) {
+    os << "{\"t\":" << fmt_time_s(s.at) << ",\"metric\":\""
+       << metric_name(s.metric) << "\",\"id\":" << static_cast<int>(s.metric)
+       << ",\"node\":" << s.node << ",\"value\":" << fmt_double(s.value)
+       << "}\n";
+  }
+}
+
+void write_prometheus(std::ostream& os, const Series& series) {
+  // Latest value per (metric, node), in id-then-node order. The map walk is
+  // the output order, so the snapshot is deterministic.
+  std::map<std::pair<int, int>, double> latest;
+  for (const Sample& s : series) {
+    latest[{static_cast<int>(s.metric), s.node}] = s.value;
+  }
+  int current = -1;
+  for (const auto& [key, value] : latest) {
+    const auto m = metric_from_id(key.first);
+    if (!m) continue;
+    const std::string name = prometheus_metric_name(*m);
+    if (key.first != current) {
+      os << "# TYPE " << name << " gauge\n";
+      current = key.first;
+    }
+    os << name;
+    if (key.second >= 0) os << "{node=\"" << key.second << "\"}";
+    os << " " << fmt_double(value) << "\n";
+  }
+}
+
+std::vector<SeriesBand> fold_series_bands(
+    const std::vector<const Series*>& trials) {
+  // Group by coordinate; std::map gives the (time, id, node) output order.
+  std::map<std::tuple<std::int64_t, int, int>, Histogram> groups;
+  for (const Series* series : trials) {
+    if (series == nullptr) continue;
+    for (const Sample& s : *series) {
+      groups[{s.at.us, static_cast<int>(s.metric), s.node}].record(s.value);
+    }
+  }
+  std::vector<SeriesBand> out;
+  out.reserve(groups.size());
+  for (const auto& [key, hist] : groups) {
+    SeriesBand b;
+    b.at = TimePoint{std::get<0>(key)};
+    b.metric = metric_from_id(std::get<1>(key)).value_or(Metric::kMembersActive);
+    b.node = std::get<2>(key);
+    b.stats = hist.summary();
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+void write_bands_jsonl(std::ostream& os, const std::vector<SeriesBand>& bands) {
+  for (const SeriesBand& b : bands) {
+    os << "{\"type\":\"series-band\",\"t\":" << fmt_time_s(b.at)
+       << ",\"metric\":\"" << metric_name(b.metric)
+       << "\",\"id\":" << static_cast<int>(b.metric) << ",\"node\":" << b.node
+       << ",\"count\":" << b.stats.count
+       << ",\"mean\":" << fmt_double(b.stats.mean)
+       << ",\"stddev\":" << fmt_double(b.stats.stddev)
+       << ",\"min\":" << fmt_double(b.stats.min)
+       << ",\"max\":" << fmt_double(b.stats.max)
+       << ",\"p50\":" << fmt_double(b.stats.p50)
+       << ",\"p99\":" << fmt_double(b.stats.p99) << "}\n";
+  }
+}
+
+void write_bands_csv(std::ostream& os, const std::vector<SeriesBand>& bands) {
+  os << "t,metric,id,node,count,mean,stddev,min,max,p50,p99\n";
+  for (const SeriesBand& b : bands) {
+    os << fmt_time_s(b.at) << "," << metric_name(b.metric) << ","
+       << static_cast<int>(b.metric) << "," << b.node << "," << b.stats.count
+       << "," << fmt_double(b.stats.mean) << "," << fmt_double(b.stats.stddev)
+       << "," << fmt_double(b.stats.min) << "," << fmt_double(b.stats.max)
+       << "," << fmt_double(b.stats.p50) << "," << fmt_double(b.stats.p99)
+       << "\n";
+  }
+}
+
+}  // namespace lifeguard::obs

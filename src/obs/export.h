@@ -1,0 +1,59 @@
+// Telemetry exporters — the read side of the telemetry layer.
+//
+// One Series (obs/catalog.h) serializes three ways:
+//   * a JSONL time-series file, one sample per line (the --metrics-out
+//     artifact; docs/observability.md documents the schema),
+//   * a Prometheus text-exposition snapshot of each metric's latest value,
+//   * per-(time, metric) percentile bands folded across a campaign's
+//     repetitions (fold_series_bands), serialized as JSONL or CSV.
+//
+// Everything here is pure serialization: doubles go through std::to_chars
+// (round-trip exact), ordering is deterministic, and the band fold consumes
+// trials in the caller's order — the campaign engine passes trial-index
+// order, so artifacts are byte-identical at every `jobs` level.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "obs/catalog.h"
+
+namespace lifeguard::obs {
+
+/// One line per sample:
+///   {"t":12.5,"metric":"lhm.mean","id":3,"node":-1,"value":0.25}
+/// `t` is seconds since run start; `node` is -1 for cluster aggregates.
+void write_series_jsonl(std::ostream& os, const Series& series);
+
+/// Prometheus text exposition of each (metric, node)'s latest value. Names
+/// come from prometheus_metric_name(); per-node samples carry a node label.
+void write_prometheus(std::ostream& os, const Series& series);
+
+/// Summary of one (time, metric, node) coordinate across a grid point's
+/// repetitions — the campaign's folded view of a sampled run.
+struct SeriesBand {
+  TimePoint at{};
+  Metric metric = Metric::kMembersActive;
+  int node = -1;
+  Summary stats;
+};
+
+/// Fold many trials' series into per-coordinate bands, ordered by
+/// (time, metric id, node). Pass trials in a deterministic order (the
+/// campaign engine uses trial-index order) and the result is too.
+std::vector<SeriesBand> fold_series_bands(
+    const std::vector<const Series*>& trials);
+
+/// One line per band:
+///   {"type":"series-band","t":12.5,"metric":"lhm.mean","id":3,"node":-1,
+///    "count":5,"mean":...,"stddev":...,"min":...,"max":...,"p50":...,
+///    "p99":...}
+void write_bands_jsonl(std::ostream& os, const std::vector<SeriesBand>& bands);
+
+/// Header `t,metric,id,node,count,mean,stddev,min,max,p50,p99` + one row
+/// per band.
+void write_bands_csv(std::ostream& os, const std::vector<SeriesBand>& bands);
+
+}  // namespace lifeguard::obs

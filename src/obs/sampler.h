@@ -1,0 +1,63 @@
+// Snapshot sampler — the telemetry layer's time-series source for the sim
+// backend.
+//
+// Every `interval` of virtual time the sampler walks the cluster and emits
+// one Sample per catalog Metric (cluster aggregates: node = -1), both into
+// its own Series (returned through RunResult::series) and as kMetricSample
+// TraceEvents to the run's sinks — so a TraceRecorder persists the series
+// inside the trace and replay reproduces it bit-identically.
+//
+// Determinism: ticks are plain event-queue tasks that draw no randomness and
+// mutate nothing, so protocol Rng draws and RunResult metrics are identical
+// with sampling on or off. The first tick fires at `interval` after start()
+// (not at time zero), which makes a replayed run — whose sampler starts the
+// same way — emit element-wise equal samples.
+#pragma once
+
+#include <vector>
+
+#include "check/events.h"
+#include "common/types.h"
+#include "obs/catalog.h"
+#include "sim/simulator.h"
+
+namespace lifeguard::obs {
+
+class Sampler {
+ public:
+  /// `sinks` receive one kMetricSample TraceEvent per emitted Sample; the
+  /// series accumulates regardless, so a sink-less sampler still fills
+  /// RunResult::series. Must outlive the simulator's event-loop execution.
+  Sampler(sim::Simulator& sim, Duration interval,
+          std::vector<check::TraceSink*> sinks);
+
+  /// Schedule the first snapshot at now + interval; each snapshot
+  /// reschedules the next, so sampling runs for the rest of the run.
+  void start();
+
+  const Series& series() const { return series_; }
+  Series take_series() { return std::move(series_); }
+
+ private:
+  void tick();
+  void emit(Metric m, double value);
+
+  sim::Simulator& sim_;
+  Duration interval_{};
+  std::vector<check::TraceSink*> sinks_;
+  Series series_;
+
+  // Previous cumulative values for per-interval rates. Deltas are clamped at
+  // zero: restart_node resets a fresh incarnation's counters, which must not
+  // read as a negative rate.
+  double prev_msgs_ = 0;
+  double prev_nacks_ = 0;
+  double prev_fails_ = 0;
+  double prev_transmits_ = 0;
+  double prev_rtt_count_ = 0;
+  double prev_rtt_sum_ = 0;
+  double prev_events_ = 0;
+  TimePoint prev_at_{};
+};
+
+}  // namespace lifeguard::obs

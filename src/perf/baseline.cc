@@ -62,6 +62,26 @@ std::string build_fingerprint() {
 
 namespace {
 
+/// First output line of `cmd`, stripped of its newline; empty on any
+/// failure (no git, not a repo, popen error).
+std::string command_line_output(const char* cmd) {
+  FILE* pipe = ::popen(cmd, "r");
+  if (pipe == nullptr) return {};
+  char buf[256] = {0};
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) out = buf;
+  // Drain the rest: closing a pipe with unread output can SIGPIPE the
+  // child and turn a successful command into a nonzero pclose status.
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+  }
+  const int rc = ::pclose(pipe);
+  if (rc != 0) return {};
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
 std::string fmt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
@@ -69,6 +89,18 @@ std::string fmt(double v) {
 }
 
 }  // namespace
+
+std::string git_fingerprint() {
+  std::string sha =
+      command_line_output("git rev-parse --short HEAD 2>/dev/null");
+  if (sha.empty()) return {};
+  // `git status --porcelain` prints one line per modification; any output
+  // means the measured tree differs from the recorded sha.
+  const std::string status =
+      command_line_output("git status --porcelain 2>/dev/null");
+  if (!status.empty()) sha += "-dirty";
+  return sha;
+}
 
 std::string to_json(const Baseline& b) {
   using harness::json_escape;
@@ -78,6 +110,9 @@ std::string to_json(const Baseline& b) {
   os << "  \"created\": \"" << json_escape(b.created) << "\",\n";
   os << "  \"host\": \"" << json_escape(b.host) << "\",\n";
   os << "  \"build\": \"" << json_escape(b.build) << "\",\n";
+  if (!b.commit.empty()) {
+    os << "  \"commit\": \"" << json_escape(b.commit) << "\",\n";
+  }
   os << "  \"entries\": [\n";
   for (std::size_t i = 0; i < b.entries.size(); ++i) {
     const Measurement& m = b.entries[i];
@@ -242,6 +277,7 @@ std::optional<Baseline> from_json(const std::string& text,
     else if (key == "created") ok = sc.string(b.created);
     else if (key == "host") ok = sc.string(b.host);
     else if (key == "build") ok = sc.string(b.build);
+    else if (key == "commit") ok = sc.string(b.commit);
     else if (key == "entries") {
       ok = sc.expect('[');
       if (ok && !sc.peek(']')) {

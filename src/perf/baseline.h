@@ -37,6 +37,9 @@ struct Baseline {
   std::string created;  ///< UTC timestamp, "YYYY-MM-DD HH:MM:SS"
   std::string host;     ///< uname summary of the measuring machine
   std::string build;    ///< compiler + build-type fingerprint
+  /// git HEAD of the measured tree ("abc1234" or "abc1234-dirty"); empty
+  /// when the measuring process ran outside a git checkout.
+  std::string commit;
   std::vector<Measurement> entries;
 
   const Measurement* find(const std::string& name) const;
@@ -50,6 +53,11 @@ std::string utc_timestamp();
 std::string host_fingerprint();
 /// Compiler/build fingerprint ("gcc 12.2.0, NDEBUG").
 std::string build_fingerprint();
+/// Short git HEAD sha of the working tree, "-dirty"-suffixed when the
+/// checkout has uncommitted changes ("abc1234" / "abc1234-dirty"). Empty
+/// when git is unavailable or the cwd is not a repository — baselines stay
+/// writable anywhere.
+std::string git_fingerprint();
 
 /// Pretty-printed JSON document (the BENCH_*.json format).
 std::string to_json(const Baseline& b);

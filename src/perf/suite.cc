@@ -258,6 +258,7 @@ Baseline Suite::run(std::string_view suite, const SuiteOptions& opt,
   b.created = utc_timestamp();
   b.host = host_fingerprint();
   b.build = build_fingerprint();
+  b.commit = git_fingerprint();
   for (const BenchCase& c : *cases) {
     if (opt.quick && c.heavy) {
       if (progress != nullptr) {

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <string_view>
 #include <utility>
 
 namespace lifeguard::sim {
@@ -29,6 +30,48 @@ Simulator::Simulator(int num_nodes, const swim::Config& cfg, SimParams params)
   }
 }
 
+namespace {
+
+/// Reverse of the "node-<index>" naming scheme; -1 for foreign names.
+int node_index_from_name(const std::string& name) {
+  constexpr std::string_view kPrefix = "node-";
+  if (name.size() <= kPrefix.size() || name.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return -1;
+  }
+  int idx = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return -1;
+    idx = idx * 10 + (c - '0');
+  }
+  return idx;
+}
+
+}  // namespace
+
+void Simulator::ProbeTap::on_probe_start(const std::string& target) {
+  sim->note(SimEventKind::kProbeStart, node, node_index_from_name(target));
+}
+
+void Simulator::ProbeTap::on_probe_ack(const std::string& target,
+                                       Duration rtt) {
+  sim->note(SimEventKind::kProbeAck, node, node_index_from_name(target),
+            static_cast<double>(rtt.us));
+}
+
+void Simulator::ProbeTap::on_probe_indirect(const std::string& target) {
+  sim->note(SimEventKind::kProbeIndirect, node, node_index_from_name(target));
+}
+
+void Simulator::ProbeTap::on_probe_fail(const std::string& target) {
+  sim->note(SimEventKind::kProbeFail, node, node_index_from_name(target));
+}
+
+void Simulator::ProbeTap::on_probe_nack(const std::string& /*target*/,
+                                        const std::string& relay) {
+  sim->note(SimEventKind::kProbeNack, node, node_index_from_name(relay));
+}
+
 void Simulator::attach_node(int index) {
   const auto i = static_cast<std::size_t>(index);
   swim::Node* node = nodes_[i].get();
@@ -44,6 +87,15 @@ void Simulator::attach_node(int index) {
         bus->publish(e);
       });
   runtimes_[i]->attach(node, [node] { node->on_unblocked(); });
+  // Probe-span telemetry: one adapter per slot, surviving restart_node (the
+  // fresh incarnation gets the same tap re-installed).
+  if (probe_taps_.size() <= i) probe_taps_.resize(i + 1);
+  if (probe_taps_[i] == nullptr) {
+    probe_taps_[i] = std::make_unique<ProbeTap>();
+    probe_taps_[i]->sim = this;
+    probe_taps_[i]->node = index;
+  }
+  node->set_probe_observer(probe_taps_[i].get());
 }
 
 Simulator::~Simulator() {
@@ -128,13 +180,14 @@ void Simulator::remove_sim_tap(int token) {
   std::erase_if(sim_taps_, [token](const auto& t) { return t.first == token; });
 }
 
-void Simulator::note(SimEventKind kind, int node, int peer) {
+void Simulator::note(SimEventKind kind, int node, int peer, double value) {
   if (sim_taps_.empty()) return;
   SimEvent e;
   e.at = now_;
   e.kind = kind;
   e.node = node;
   e.peer = peer;
+  e.value = value;
   for (const auto& [token, tap] : sim_taps_) tap(e);
 }
 

@@ -17,6 +17,7 @@
 #include "swim/config.h"
 #include "swim/events.h"
 #include "swim/node.h"
+#include "swim/probe_observer.h"
 
 namespace lifeguard::sim {
 
@@ -32,13 +33,20 @@ enum class SimEventKind : std::uint8_t {
   kFaultStart,   ///< a fault::Timeline entry's span opened (peer = entry)
   kFaultEnd,     ///< a fault::Timeline entry's span closed (peer = entry)
   kDatagram,     ///< one datagram routed from `node` to `peer`
+  // Probe-round spans (telemetry): node = prober, peer = target/relay.
+  kProbeStart,     ///< direct ping left for `peer`
+  kProbeAck,       ///< probe acked (value = round-trip in microseconds)
+  kProbeIndirect,  ///< indirect stage launched (ping-req fan-out)
+  kProbeFail,      ///< protocol period ended without an ack
+  kProbeNack,      ///< nack received (peer = relay that reported timeliness)
 };
 
 struct SimEvent {
   TimePoint at{};
   SimEventKind kind = SimEventKind::kCrash;
-  int node = -1;  ///< afflicted node (control) or sender (datagram)
+  int node = -1;  ///< afflicted node (control) or sender (datagram/probe)
   int peer = -1;  ///< receiver (datagram) or timeline entry index (faults)
+  double value = 0;  ///< kProbeAck: round-trip time in microseconds
 };
 
 struct SimParams {
@@ -137,7 +145,7 @@ class Simulator {
   /// Publish a SimEvent stamped with the current virtual time. Cheap no-op
   /// while no tap is attached (kDatagram in particular fires per routed
   /// datagram).
-  void note(SimEventKind kind, int node, int peer = -1);
+  void note(SimEventKind kind, int node, int peer = -1, double value = 0);
 
   /// Aggregate node metrics plus network metrics into one registry.
   Metrics aggregate_metrics() const;
@@ -164,6 +172,20 @@ class Simulator {
   /// Wire node `index`'s event bus to its RecordingListener.
   void attach_node(int index);
 
+  /// Per-node adapter turning swim::ProbeObserver callbacks into probe-span
+  /// SimEvents on the tap stream. Pure observer: draws no randomness, only
+  /// translates member names to indices.
+  struct ProbeTap final : swim::ProbeObserver {
+    Simulator* sim = nullptr;
+    int node = -1;
+    void on_probe_start(const std::string& target) override;
+    void on_probe_ack(const std::string& target, Duration rtt) override;
+    void on_probe_indirect(const std::string& target) override;
+    void on_probe_fail(const std::string& target) override;
+    void on_probe_nack(const std::string& target,
+                       const std::string& relay) override;
+  };
+
   TimePoint now_{};
   EventQueue queue_;
   Rng rng_;
@@ -177,6 +199,8 @@ class Simulator {
   std::vector<bool> crashed_;
   std::vector<std::pair<int, SimTap>> sim_taps_;
   int next_tap_token_ = 1;
+  /// One per node; re-installed on restart_node (stable across incarnations).
+  std::vector<std::unique_ptr<ProbeTap>> probe_taps_;
   /// Metrics of node incarnations retired by restart_node.
   Metrics retired_metrics_;
   std::int64_t datagrams_routed_ = 0;

@@ -16,7 +16,8 @@ Node::Node(std::string name, Address addr, Config cfg, Runtime& rt,
       table_(name_),
       bcast_(cfg.retransmit_mult),
       health_(cfg.lhm_max, cfg.lha_probe),
-      log_(name_, LogLevel::kOff) {
+      log_(name_, LogLevel::kOff),
+      obs_(metrics_) {
   if (cfg_.buddy_system) {
     piggyback_ = std::make_unique<BuddyPiggyback>(
         bcast_, [this](const std::string& t) { return buddy_frame(t); });
@@ -70,7 +71,7 @@ void Node::leave() {
   }
   // from == member encodes the graceful-leave intent (memberlist).
   broadcast(name_, proto::Dead{name_, incarnation_, name_});
-  metrics_.counter("swim.leave").add();
+  obs_.leaves().add();
 }
 
 void Node::stop() {
@@ -203,7 +204,7 @@ void Node::reconnect_tick() {
   req.from_addr = addr_;
   req.members = snapshot_state();
   send_message(dead.front()->addr, Channel::kReliable, req, nullptr);
-  metrics_.counter("sync.reconnect_attempts").add();
+  obs_.reconnect_attempts().add();
 }
 
 void Node::housekeeping_tick() {
@@ -220,7 +221,7 @@ void Node::housekeeping_tick() {
   }
   for (const auto& name : reclaim) {
     table_.remove(name);
-    metrics_.counter("swim.reclaimed").add();
+    obs_.reclaimed().add();
   }
 }
 
@@ -302,39 +303,15 @@ void Node::send_gossip(const Address& to) {
 }
 
 void Node::count_sent(const char* type, std::size_t bytes, Channel ch) {
-  if (msgs_sent_counter_ == nullptr) {
-    msgs_sent_counter_ = &metrics_.counter("net.msgs_sent");
-    bytes_sent_counter_ = &metrics_.counter("net.bytes_sent");
-  }
-  msgs_sent_counter_->add();
-  bytes_sent_counter_->add(static_cast<std::int64_t>(bytes));
-  // `type` is always a string literal (msg_type_name / "gossip"), so pointer
-  // identity is a sufficient cache key; a duplicated literal would only cost
-  // one redundant cache entry aimed at the same counter.
-  Counter* type_counter = nullptr;
-  for (const auto& [t, c] : sent_type_counters_) {
-    if (t == type) {
-      type_counter = c;
-      break;
-    }
-  }
-  if (type_counter == nullptr) {
-    type_counter = &metrics_.counter(std::string("net.sent.") + type);
-    sent_type_counters_.emplace_back(type, type_counter);
-  }
-  type_counter->add();
-  const auto chi = static_cast<std::size_t>(ch);
-  if (sent_ch_counters_[chi] == nullptr) {
-    sent_ch_counters_[chi] =
-        &metrics_.counter(std::string("net.sent_ch.") + channel_name(ch));
-  }
-  sent_ch_counters_[chi]->add();
+  obs_.count_sent(type, bytes, ch);
+  obs_.gossip_pending().set(static_cast<double>(bcast_.pending()));
 }
 
 void Node::broadcast(const std::string& member, const proto::Message& m) {
   BufWriter w(48);
   proto::encode(m, w);
   bcast_.queue(member, std::move(w).take());
+  obs_.gossip_pending().set(static_cast<double>(bcast_.pending()));
 }
 
 // ---- inbound dispatch ------------------------------------------------------
@@ -342,23 +319,18 @@ void Node::broadcast(const std::string& member, const proto::Message& m) {
 void Node::on_packet(const Address& from, std::span<const std::uint8_t> payload,
                      Channel channel) {
   if (!running_) return;
-  if (msgs_received_counter_ == nullptr) {
-    msgs_received_counter_ = &metrics_.counter("net.msgs_received");
-    bytes_received_counter_ = &metrics_.counter("net.bytes_received");
-  }
-  msgs_received_counter_->add();
-  bytes_received_counter_->add(static_cast<std::int64_t>(payload.size()));
+  obs_.count_received(payload.size());
 
   std::vector<std::span<const std::uint8_t>> frames;
   if (!proto::unpack_compound(payload, frames)) {
-    metrics_.counter("net.malformed").add();
+    obs_.malformed().add();
     return;
   }
   for (const auto& frame : frames) {
     BufReader r(frame);
     auto msg = proto::decode(r);
     if (!msg) {
-      metrics_.counter("net.malformed").add();
+      obs_.malformed().add();
       continue;
     }
     struct Visitor {

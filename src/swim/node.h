@@ -28,6 +28,7 @@
 #include "common/logger.h"
 #include "common/metrics.h"
 #include "common/types.h"
+#include "obs/registry.h"
 #include "proto/broadcast.h"
 #include "proto/wire.h"
 #include "runtime/runtime.h"
@@ -39,6 +40,8 @@
 #include "swim/suspicion.h"
 
 namespace lifeguard::swim {
+
+class ProbeObserver;
 
 class Node : public PacketHandler {
  public:
@@ -95,6 +98,11 @@ class Node : public PacketHandler {
   std::size_t pending_broadcasts() const { return bcast_.pending(); }
   /// Read-only view of the gossip queue (checking layer: retransmit bound).
   const proto::BroadcastQueue& broadcasts() const { return bcast_; }
+  /// Typed view over metrics() plus the live gauges samplers read.
+  const obs::NodeMetrics& observed() const { return obs_; }
+  /// Attach a probe-pipeline lifecycle observer (telemetry spans); nullptr
+  /// detaches. The observer must outlive the node or be detached first.
+  void set_probe_observer(ProbeObserver* o) { probe_observer_ = o; }
 
  private:
   // ---- outbound (node.cc) ----
@@ -178,17 +186,12 @@ class Node : public PacketHandler {
   LocalHealth health_;
   Logger log_;
   Metrics metrics_;
-  /// count_sent() fires four counters per outbound message; these caches
-  /// skip the map lookups (and the "net.sent."-prefix string builds) on
-  /// every message after a counter's first use. Counter references are
-  /// node-stable (std::map) for the life of `metrics_`.
-  Counter* msgs_sent_counter_ = nullptr;
-  Counter* bytes_sent_counter_ = nullptr;
-  Counter* sent_ch_counters_[2] = {nullptr, nullptr};  ///< by Channel
-  std::vector<std::pair<const char*, Counter*>> sent_type_counters_;
-  Counter* msgs_received_counter_ = nullptr;
-  Counter* bytes_received_counter_ = nullptr;
-  Counter* join_learned_counter_ = nullptr;
+  /// Typed facade over metrics_: every protocol-path counter/histogram is
+  /// resolved once here, so hot paths bump pointers instead of doing
+  /// string-keyed map lookups (this subsumes the hand-rolled Counter*
+  /// caches the node used to carry).
+  obs::NodeMetrics obs_;
+  ProbeObserver* probe_observer_ = nullptr;
 
   std::uint64_t incarnation_ = 0;
   std::uint32_t next_seq_ = 1;
@@ -199,6 +202,8 @@ class Node : public PacketHandler {
   struct ProbeState {
     std::uint32_t seq = 0;
     std::string target;
+    /// When the direct ping left (virtual time in sim): the RTT baseline.
+    TimePoint started{};
     bool acked = false;
     bool indirect_started = false;
     int nacks_expected = 0;

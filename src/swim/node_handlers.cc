@@ -35,12 +35,7 @@ void Node::on_alive_msg(const proto::Alive& a) {
     const Member& stored = table_.add(std::move(nm), rt_.rng());
     emit(EventType::kJoin, stored, a.member, false);
     broadcast(a.member, a);  // keep disseminating the join
-    // Cached: fires once per (node, learned member) — O(n²) cluster-wide
-    // during a large cluster's join storm.
-    if (join_learned_counter_ == nullptr) {
-      join_learned_counter_ = &metrics_.counter("swim.join_learned");
-    }
-    join_learned_counter_->add();
+    obs_.join_learned().add();
     return;
   }
   // An alive message refutes suspect/dead only with a strictly higher
@@ -55,8 +50,7 @@ void Node::on_alive_msg(const proto::Alive& a) {
     table_.set_state(*m, MemberState::kAlive, rt_.now());
     cancel_suspicion(m->name);
     emit(EventType::kAlive, *m, a.member, false);
-    metrics_.counter(prev == MemberState::kSuspect ? "swim.refuted"
-                                                   : "swim.resurrected")
+    (prev == MemberState::kSuspect ? obs_.refuted() : obs_.resurrected())
         .add();
   }
   broadcast(a.member, a);  // refutation must keep spreading
@@ -89,7 +83,7 @@ void Node::on_suspect_msg(const proto::Suspect& s) {
     // shrinks the timeout and is re-gossiped (first K only) so other nodes'
     // timeouts shrink too.
     if (cfg_.lha_suspicion && susp.confirm(s.from)) {
-      metrics_.counter("suspicion.confirmed").add();
+      obs_.suspicion_confirmed().add();
       broadcast(s.member, s);
       arm_suspicion_timer(susp);
     }
@@ -120,7 +114,7 @@ void Node::start_suspicion(Member& m, std::uint64_t incarnation,
   arm_suspicion_timer(it->second);
 
   emit(EventType::kSuspect, m, from, from == name_);
-  metrics_.counter("suspicion.started").add();
+  obs_.suspicion_started().add();
   // SWIM: a member that suspects (or adopts a suspicion) gossips it.
   broadcast(m.name, proto::Suspect{m.name, incarnation, from});
 }
@@ -138,10 +132,9 @@ void Node::on_suspicion_timeout(const std::string& member) {
   auto it = suspicions_.find(member);
   if (it == suspicions_.end()) return;
   const std::uint64_t inc = it->second.incarnation();
-  metrics_.histogram("suspicion.confirmations_at_death")
-      .record(it->second.confirmations());
-  metrics_.histogram("suspicion.lifetime_s")
-      .record((rt_.now() - it->second.start()).seconds());
+  obs_.suspicion_confirmations_at_death().record(it->second.confirmations());
+  obs_.suspicion_lifetime_s().record(
+      (rt_.now() - it->second.start()).seconds());
   if (log_.enabled(LogLevel::kDebug)) {
     std::string msg = "suspicion timeout for " + member + " origins:";
     for (const auto& o : it->second.origins()) msg += " " + o;
@@ -156,7 +149,7 @@ void Node::on_suspicion_timeout(const std::string& member) {
   // the paper's FP / FP- metrics count when `member` is in fact healthy).
   table_.set_state(*m, MemberState::kDead, rt_.now());
   emit(EventType::kFailed, *m, name_, true);
-  metrics_.counter("swim.dead_declared").add();
+  obs_.dead_declared().add();
   broadcast(member, proto::Dead{member, inc, name_});
 }
 
@@ -172,7 +165,7 @@ void Node::on_dead_msg(const proto::Dead& d) {
     // We are reported dead. Unless we are deliberately leaving, refute.
     if (!leaving_ && d.incarnation >= incarnation_) {
       refute(d.incarnation);
-      metrics_.counter("swim.refuted_death").add();
+      obs_.refuted_death().add();
     }
     return;
   }
@@ -187,7 +180,7 @@ void Node::on_dead_msg(const proto::Dead& d) {
   table_.set_state(*m, left ? MemberState::kLeft : MemberState::kDead,
                    rt_.now());
   emit(left ? EventType::kLeft : EventType::kFailed, *m, d.from, false);
-  metrics_.counter(left ? "swim.left_learned" : "swim.dead_learned").add();
+  (left ? obs_.left_learned() : obs_.dead_learned()).add();
   broadcast(d.member, d);
 }
 
@@ -198,7 +191,8 @@ void Node::refute(std::uint64_t suspected_incarnation) {
   // Having to refute means we missed (or were late to) pings — evidence of
   // local slowness (paper §IV-A: refute => LHM +1).
   health_.refuted_suspicion();
-  metrics_.counter("swim.refutations").add();
+  obs_.lhm().set(static_cast<double>(health_.score()));
+  obs_.refutations().add();
   broadcast(name_, proto::Alive{name_, incarnation_, addr_});
 }
 
@@ -211,7 +205,7 @@ std::optional<std::vector<std::uint8_t>> Node::buddy_frame(
       it != suspicions_.end() ? it->second.incarnation() : m->incarnation;
   BufWriter w(48);
   proto::encode(proto::Suspect{target, inc, name_}, w);
-  metrics_.counter("buddy.prioritized").add();
+  obs_.buddy_prioritized().add();
   return std::move(w).take();
 }
 

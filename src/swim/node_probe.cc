@@ -8,6 +8,8 @@
 // by (LHM + 1).
 #include "swim/node.h"
 
+#include "swim/probe_observer.h"
+
 namespace lifeguard::swim {
 
 Duration Node::scaled_probe_interval() const {
@@ -47,8 +49,10 @@ void Node::begin_probe(Member& target) {
   ProbeState ps;
   ps.seq = next_seq_++;
   ps.target = target.name;
+  ps.started = rt_.now();
   probe_ = ps;
-  metrics_.counter("probe.started").add();
+  obs_.probe_started().add();
+  if (probe_observer_ != nullptr) probe_observer_->on_probe_start(target.name);
 
   proto::Ping ping{probe_->seq, target.name, name_, addr_};
   send_message(target.addr, Channel::kUdp, ping, &target.name);
@@ -77,7 +81,10 @@ void Node::probe_timeout_expired() {
 void Node::launch_indirect() {
   if (!probe_ || probe_->indirect_started) return;
   probe_->indirect_started = true;
-  metrics_.counter("probe.indirect").add();
+  obs_.probe_indirect().add();
+  if (probe_observer_ != nullptr) {
+    probe_observer_->on_probe_indirect(probe_->target);
+  }
 
   Member* target = table_.find(probe_->target);
   if (target == nullptr) return;
@@ -126,12 +133,14 @@ void Node::finish_probe() {
 
   // Only unacked probes reach the period deadline (acked ones complete and
   // reset in handle_ack): this is the failure path.
-  metrics_.counter("probe.failed").add();
+  obs_.probe_failed().add();
   health_.probe_failed();
   for (int i = 0; i < missed_nacks; ++i) {
     health_.missed_nack();
-    metrics_.counter("probe.missed_nack").add();
+    obs_.probe_missed_nack().add();
   }
+  obs_.lhm().set(static_cast<double>(health_.score()));
+  if (probe_observer_ != nullptr) probe_observer_->on_probe_fail(target);
 
   Member* m = table_.find(target);
   if (m == nullptr || !is_active(m->state)) return;
@@ -146,7 +155,7 @@ void Node::handle_ping(const Address& /*from*/, const proto::Ping& p,
                        Channel ch) {
   if (p.target != name_) {
     // Stale addressing (e.g. a reused address); memberlist drops these.
-    metrics_.counter("probe.misrouted_ping").add();
+    obs_.probe_misrouted_ping().add();
     return;
   }
   proto::Ack ack{p.seq, name_};
@@ -166,7 +175,7 @@ void Node::handle_ping_req(const proto::PingReq& p, Channel ch) {
 
   proto::Ping ping{relay_seq, p.target, name_, addr_};
   send_message(p.target_addr, Channel::kUdp, ping, &p.target);
-  metrics_.counter("probe.relayed").add();
+  obs_.probe_relayed().add();
 
   const Duration timeout{std::max<std::int64_t>(p.probe_timeout_us, 1000)};
   if (p.want_nack) {
@@ -180,7 +189,7 @@ void Node::handle_ping_req(const proto::PingReq& p, Channel ch) {
           proto::Nack nack{it->second.origin_seq, name_};
           send_message(it->second.origin_addr, it->second.channel, nack,
                        nullptr);
-          metrics_.counter("probe.nack_sent").add();
+          obs_.probe_nack_sent().add();
         });
   }
   // Keep the mapping around long enough for a late ack to still be
@@ -201,17 +210,22 @@ void Node::handle_ack(const proto::Ack& a) {
     // A timely ack means the local detector is keeping up (paper: −1).
     probe_->acked = true;
     health_.probe_success();
-    metrics_.counter("probe.acked").add();
-    metrics_.counter("probe.success").add();
+    obs_.lhm().set(static_cast<double>(health_.score()));
+    obs_.probe_acked().add();
+    obs_.probe_success().add();
+    const Duration rtt = rt_.now() - probe_->started;
+    obs_.probe_rtt_us().record(static_cast<double>(rtt.us));
+    const std::string target = probe_->target;
     cancel_timer(probe_->timeout_timer);
     cancel_timer(probe_->period_timer);
     probe_.reset();
+    if (probe_observer_ != nullptr) probe_observer_->on_probe_ack(target, rtt);
     return;
   }
   // Ack from a target we probed on someone's behalf: forward to the origin.
   auto it = relays_.find(a.seq);
   if (it == relays_.end()) {
-    metrics_.counter("probe.stale_ack").add();
+    obs_.probe_stale_ack().add();
     return;
   }
   RelayState& relay = it->second;
@@ -219,14 +233,17 @@ void Node::handle_ack(const proto::Ack& a) {
     relay.acked = true;
     proto::Ack fwd{relay.origin_seq, a.from};
     send_message(relay.origin_addr, relay.channel, fwd, nullptr);
-    metrics_.counter("probe.ack_forwarded").add();
+    obs_.probe_ack_forwarded().add();
   }
 }
 
 void Node::handle_nack(const proto::Nack& n) {
   if (probe_ && probe_->seq == n.seq) {
     ++probe_->nacks_received;
-    metrics_.counter("probe.nack_received").add();
+    obs_.probe_nack_received().add();
+    if (probe_observer_ != nullptr) {
+      probe_observer_->on_probe_nack(probe_->target, n.from);
+    }
   }
 }
 

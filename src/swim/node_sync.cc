@@ -26,7 +26,7 @@ std::vector<proto::MemberSnapshot> Node::snapshot_state() const {
 }
 
 void Node::handle_push_pull(const proto::PushPull& p) {
-  metrics_.counter("sync.received").add();
+  obs_.sync_received().add();
   if (!p.is_response) {
     proto::PushPull resp;
     resp.is_response = true;

@@ -131,5 +131,69 @@ TEST(Metrics, Reset) {
   EXPECT_TRUE(m.histograms().empty());
 }
 
+// ---------------------------------------------------------------------------
+// Edge cases the telemetry layer leans on
+
+TEST(Histogram, EmptySummaryMatchesTheIndividualAccessors) {
+  const Histogram h;
+  const Summary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, h.mean());
+  EXPECT_DOUBLE_EQ(s.min, h.min());
+  EXPECT_DOUBLE_EQ(s.max, h.max());
+  EXPECT_DOUBLE_EQ(s.p50, h.percentile(0.5));
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Histogram, SingleSampleHasZeroStddevAndDegeneratePercentiles) {
+  Histogram h;
+  h.record(42.0);
+  const Summary s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);  // n-1 denominator: undefined -> 0
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+}
+
+TEST(Histogram, ReserveChangesCapacityNotContents) {
+  Histogram h;
+  h.record(1.0);
+  h.reserve(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.0);  // interpolation still exact
+}
+
+TEST(Histogram, SummaryIsStableAcrossRecordOrder) {
+  // The sampler and band folds treat Summary as a pure function of the
+  // sample multiset — insertion order must not leak into any statistic.
+  Histogram a, b;
+  const double xs[] = {5.0, 1.0, 4.0, 2.0, 3.0};
+  for (double x : xs) a.record(x);
+  for (int i = 4; i >= 0; --i) b.record(xs[i]);
+  const Summary sa = a.summary(), sb = b.summary();
+  EXPECT_EQ(sa.count, sb.count);
+  EXPECT_DOUBLE_EQ(sa.mean, sb.mean);
+  EXPECT_DOUBLE_EQ(sa.stddev, sb.stddev);
+  EXPECT_DOUBLE_EQ(sa.p50, sb.p50);
+  EXPECT_DOUBLE_EQ(sa.p99, sb.p99);
+}
+
+TEST(Counter, EqualityComparesValues) {
+  Counter a, b;
+  EXPECT_EQ(a, b);
+  a.add(2);
+  EXPECT_NE(a, b);
+  b.add(2);
+  EXPECT_EQ(a, b);
+  a.reset();
+  EXPECT_EQ(a.value(), 0);
+}
+
 }  // namespace
 }  // namespace lifeguard

@@ -1,6 +1,7 @@
 // perf::Baseline JSON round trip and perf::compare on synthetic pairs.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 
@@ -43,6 +44,39 @@ TEST(PerfBaseline, JsonRoundTripPreservesEveryField) {
                      b.entries[i].datagrams_per_s);
     EXPECT_EQ(parsed->entries[i].peak_rss_kb, b.entries[i].peak_rss_kb);
     EXPECT_EQ(parsed->entries[i].iterations, b.entries[i].iterations);
+  }
+}
+
+TEST(PerfBaseline, CommitFingerprintRoundTripsAndStaysOptional) {
+  Baseline b = sample_baseline();
+  b.commit = "abc1234-dirty";
+  std::string error;
+  const auto parsed = from_json(to_json(b), error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->commit, "abc1234-dirty");
+  // Pre-commit-field documents (no "commit" key) still parse, with the
+  // field left empty — and an empty commit is not serialized at all.
+  const Baseline without = sample_baseline();
+  EXPECT_EQ(to_json(without).find("\"commit\""), std::string::npos);
+  const auto legacy = from_json(to_json(without), error);
+  ASSERT_TRUE(legacy.has_value()) << error;
+  EXPECT_TRUE(legacy->commit.empty());
+}
+
+TEST(PerfBaseline, GitFingerprintIsEmptyOrShaShaped) {
+  // Environment-dependent on purpose: inside a checkout it is a short hex
+  // sha with an optional "-dirty" suffix, elsewhere it degrades to empty.
+  const std::string fp = git_fingerprint();
+  if (fp.empty()) return;
+  std::string sha = fp;
+  const std::string suffix = "-dirty";
+  if (sha.size() > suffix.size() &&
+      sha.compare(sha.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    sha.resize(sha.size() - suffix.size());
+  }
+  EXPECT_GE(sha.size(), 7u);
+  for (char c : sha) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << fp;
   }
 }
 

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Quick-look renderer and schema validator for telemetry artifacts.
+
+Reads the JSONL artifacts scenario_runner --metrics-out writes (see
+docs/observability.md): per-sample `series.jsonl` lines
+
+    {"t": 0.5, "metric": "members.active", "id": 0, "node": -1, "value": 8}
+
+or campaign `bands.jsonl` lines
+
+    {"type": "series-band", "t": 0.5, "metric": "...", "id": 0, "node": -1,
+     "count": 5, "mean": ..., "stddev": ..., "min": ..., "max": ...,
+     "p50": ..., "p99": ...}
+
+and renders one metric as an ASCII chart (default) or an SVG file. Band
+files plot the mean with a min..max envelope. Standard library only.
+
+Usage:
+    tools/plot-metrics.py DIR-or-FILE [--metric lhm.max] [--node -1]
+                          [--out chart.svg] [--list]
+    tools/plot-metrics.py --validate DIR-or-FILE
+
+--validate checks every line against the documented schema (field names,
+types, id range, id<->name agreement with the catalog) and exits nonzero
+on the first offence — CI runs this against freshly emitted artifacts.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Mirror of src/obs/catalog.h — append-only, never renumber.
+CATALOG = [
+    "members.active",
+    "members.suspect",
+    "members.dead",
+    "lhm.mean",
+    "lhm.max",
+    "probe.rtt.mean_us",
+    "probe.nack.rate",
+    "probe.fail.rate",
+    "net.msgs.rate",
+    "net.msgs.total",
+    "net.bytes.total",
+    "gossip.pending.mean",
+    "gossip.pending.max",
+    "sim.queue.depth",
+    "sim.events.rate",
+    "gossip.transmits.rate",
+]
+
+SERIES_FIELDS = {"t": (int, float), "metric": str, "id": int,
+                 "node": int, "value": (int, float)}
+BAND_FIELDS = {"type": str, "t": (int, float), "metric": str, "id": int,
+               "node": int, "count": int, "mean": (int, float),
+               "stddev": (int, float), "min": (int, float),
+               "max": (int, float), "p50": (int, float),
+               "p99": (int, float)}
+
+
+def resolve_path(path):
+    """Accept a file or a --metrics-out directory."""
+    if os.path.isdir(path):
+        for name in ("series.jsonl", "bands.jsonl"):
+            candidate = os.path.join(path, name)
+            if os.path.exists(candidate):
+                return candidate
+        sys.exit(f"error: {path} holds neither series.jsonl nor bands.jsonl")
+    return path
+
+
+def check_line(obj, lineno, path):
+    is_band = obj.get("type") == "series-band"
+    fields = BAND_FIELDS if is_band else SERIES_FIELDS
+    for key, types in fields.items():
+        if key not in obj:
+            sys.exit(f"{path}:{lineno}: missing field {key!r}")
+        if not isinstance(obj[key], types) or isinstance(obj[key], bool):
+            sys.exit(f"{path}:{lineno}: field {key!r} has wrong type "
+                     f"({type(obj[key]).__name__})")
+    unknown = set(obj) - set(fields)
+    if unknown:
+        sys.exit(f"{path}:{lineno}: unknown fields {sorted(unknown)}")
+    if not 0 <= obj["id"] < len(CATALOG):
+        sys.exit(f"{path}:{lineno}: id {obj['id']} out of catalog range")
+    if obj["metric"] != CATALOG[obj["id"]]:
+        sys.exit(f"{path}:{lineno}: id {obj['id']} names "
+                 f"{CATALOG[obj['id']]!r}, line says {obj['metric']!r}")
+    if obj["node"] < -1:
+        sys.exit(f"{path}:{lineno}: node {obj['node']} < -1")
+    return is_band
+
+
+def load(path):
+    rows, bands = [], False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: not JSON: {e}")
+            bands = check_line(obj, lineno, path)
+            rows.append(obj)
+    if not rows:
+        sys.exit(f"{path}: no samples")
+    return rows, bands
+
+
+def select(rows, metric, node):
+    picked = [r for r in rows if r["metric"] == metric
+              and (node is None or r["node"] == node)]
+    if not picked:
+        have = sorted({r["metric"] for r in rows})
+        sys.exit(f"error: no samples for metric {metric!r}"
+                 f" (have: {', '.join(have)})")
+    return sorted(picked, key=lambda r: (r["t"], r["node"]))
+
+
+def ascii_chart(points, metric, width=64, height=16):
+    ts = [p[0] for p in points]
+    vs = [p[1] for p in points]
+    lo, hi = min(vs), max(vs)
+    span = (hi - lo) or 1.0
+    tspan = (ts[-1] - ts[0]) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in points:
+        x = min(width - 1, int((t - ts[0]) / tspan * (width - 1)))
+        y = min(height - 1, int((hi - v) / span * (height - 1)))
+        grid[y][x] = "*"
+    out = [f"{metric}  [{lo:g} .. {hi:g}]  t=[{ts[0]:g}s .. {ts[-1]:g}s]"]
+    for i, row in enumerate(grid):
+        label = hi if i == 0 else (lo if i == height - 1 else None)
+        out.append(f"{label:>10.3g} |" if label is not None
+                   else "           |", )
+        out[-1] += "".join(row)
+    out.append("           +" + "-" * width)
+    return "\n".join(out)
+
+
+def svg_chart(points, envelope, metric, path, w=640, h=320, pad=40):
+    ts = [p[0] for p in points]
+    vs = [p[1] for p in points]
+    all_v = vs + [v for pair in envelope for v in pair[1:]] if envelope else vs
+    lo, hi = min(all_v), max(all_v)
+    span = (hi - lo) or 1.0
+    tspan = (ts[-1] - ts[0]) or 1.0
+
+    def sx(t):
+        return pad + (t - ts[0]) / tspan * (w - 2 * pad)
+
+    def sy(v):
+        return h - pad - (v - lo) / span * (h - 2 * pad)
+
+    parts = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{w}" '
+             f'height="{h}" viewBox="0 0 {w} {h}">',
+             f'<rect width="{w}" height="{h}" fill="white"/>']
+    if envelope:
+        upper = [f"{sx(t):.1f},{sy(mx):.1f}" for t, _, mx in envelope]
+        lower = [f"{sx(t):.1f},{sy(mn):.1f}" for t, mn, _ in reversed(envelope)]
+        parts.append(f'<polygon points="{" ".join(upper + lower)}" '
+                     f'fill="#c8dcf0" stroke="none"/>')
+    line = " ".join(f"{sx(t):.1f},{sy(v):.1f}" for t, v in points)
+    parts.append(f'<polyline points="{line}" fill="none" '
+                 f'stroke="#1f5fa8" stroke-width="1.5"/>')
+    parts.append(f'<text x="{pad}" y="20" font-family="monospace" '
+                 f'font-size="13">{metric}  [{lo:g} .. {hi:g}]</text>')
+    parts.append(f'<text x="{pad}" y="{h - 8}" font-family="monospace" '
+                 f'font-size="11">t = {ts[0]:g}s .. {ts[-1]:g}s</text>')
+    parts.append("</svg>")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(parts) + "\n")
+    print(f"wrote {path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("path", help="series.jsonl, bands.jsonl, or a "
+                                 "--metrics-out directory")
+    ap.add_argument("--metric", default="lhm.max")
+    ap.add_argument("--node", type=int, default=None,
+                    help="filter to one node (-1 = cluster aggregate)")
+    ap.add_argument("--out", help="write an SVG instead of ASCII")
+    ap.add_argument("--list", action="store_true",
+                    help="list available metrics and exit")
+    ap.add_argument("--validate", action="store_true",
+                    help="schema-check only, no rendering")
+    args = ap.parse_args()
+
+    path = resolve_path(args.path)
+    rows, bands = load(path)
+    if args.validate:
+        kind = "band" if bands else "sample"
+        print(f"{path}: {len(rows)} {kind} lines conform to the schema")
+        return
+    if args.list:
+        for name in sorted({r["metric"] for r in rows}):
+            nodes = sorted({r["node"] for r in rows if r["metric"] == name})
+            print(f"{name}  nodes={nodes}")
+        return
+
+    picked = select(rows, args.metric, args.node)
+    if bands:
+        points = [(r["t"], r["mean"]) for r in picked]
+        envelope = [(r["t"], r["min"], r["max"]) for r in picked]
+    else:
+        points = [(r["t"], r["value"]) for r in picked]
+        envelope = None
+    if args.out:
+        svg_chart(points, envelope, args.metric, args.out)
+    else:
+        print(ascii_chart(points, args.metric))
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
