@@ -27,6 +27,8 @@
 //     --quiesce S        settling time, seconds      (default 15)
 //     --alpha A --beta B suspicion tuning            (default 5 / 6)
 //     --seed S           RNG seed                    (default 1)
+//     --membership NAME  membership backend: swim | central[:miss=N] |
+//                        static                      (default swim)
 //
 //   ./examples/scenario_runner --fault SPEC [--fault SPEC]... [flags]
 //       Compose a fault timeline instead of a single anomaly; each SPEC is
@@ -121,6 +123,7 @@
 #include "harness/table.h"
 #include "live/process.h"
 #include "live/runner.h"
+#include "membership/backend.h"
 #include "net/udp_runtime.h"
 #include "obs/export.h"
 
@@ -204,11 +207,12 @@ std::string timeline_summary(const Scenario& s) {
 }
 
 void list_catalog() {
-  Table t({"Scenario", "Paper", "Fault timeline", "Nodes", "Description"});
+  Table t({"Scenario", "Paper", "Fault timeline", "Nodes", "Membership",
+           "Description"});
   for (const Scenario& s : ScenarioRegistry::builtin().all()) {
     t.add_row({s.name, s.paper_ref.empty() ? "-" : s.paper_ref,
                timeline_summary(s), std::to_string(s.cluster_size),
-               s.summary});
+               s.membership, s.summary});
   }
   t.print();
   std::printf("\nRun one with: scenario_runner --scenario NAME "
@@ -233,13 +237,14 @@ void list_catalog_markdown() {
       "workflow). The fault-timeline column uses the `--fault` grammar\n"
       "(`KIND@AT:DUR,key=val`; see `src/fault/fault.h`).\n"
       "\n"
-      "| Scenario | Paper | Nodes | Length | Default checks | Fault "
-      "timeline |\n"
-      "|---|---|---:|---:|---|---|\n");
+      "| Scenario | Paper | Nodes | Length | Membership | Default checks | "
+      "Fault timeline |\n"
+      "|---|---|---:|---:|---|---|---|\n");
   for (const Scenario& s : ScenarioRegistry::builtin().all()) {
-    std::printf("| `%s` | %s | %d | %.0f s | %s | `%s` |\n", s.name.c_str(),
+    std::printf("| `%s` | %s | %d | %.0f s | `%s` | %s | `%s` |\n",
+                s.name.c_str(),
                 s.paper_ref.empty() ? "—" : s.paper_ref.c_str(),
-                s.cluster_size, s.run_length.seconds(),
+                s.cluster_size, s.run_length.seconds(), s.membership.c_str(),
                 s.checks.enabled ? "on" : "off",
                 timeline_summary(s).c_str());
   }
@@ -267,10 +272,11 @@ void list_catalog_json() {
     const Scenario& s = all[i];
     std::printf("  {\"name\": \"%s\", \"paper_ref\": \"%s\", "
                 "\"description\": \"%s\", \"nodes\": %d, "
-                "\"run_length_s\": %.0f, \"timeline\": \"%s\"}%s\n",
+                "\"run_length_s\": %.0f, \"membership\": \"%s\", "
+                "\"timeline\": \"%s\"}%s\n",
                 json_escape(s.name).c_str(), json_escape(s.paper_ref).c_str(),
                 json_escape(s.summary).c_str(), s.cluster_size,
-                s.run_length.seconds(),
+                s.run_length.seconds(), json_escape(s.membership).c_str(),
                 json_escape(timeline_summary(s)).c_str(),
                 i + 1 < all.size() ? "," : "");
   }
@@ -454,7 +460,7 @@ int main(int argc, char** argv) {
   std::optional<int> nodes, victims;
   std::optional<Duration> duration, interval, length, quiesce;
   std::optional<std::uint64_t> seed;
-  std::optional<std::string> anomaly_name, config_name;
+  std::optional<std::string> anomaly_name, config_name, membership;
   std::vector<fault::TimelineEntry> fault_entries;
   bool campaign_mode = false;
   bool check_mode = false;
@@ -492,6 +498,12 @@ int main(int argc, char** argv) {
       nodes = static_cast<int>(parse_int(arg, next(), 2, 4096));
     } else if (arg == "--config") {
       config_name = next();
+    } else if (arg == "--membership") {
+      std::string error;
+      membership = next();
+      if (!membership::parse_spec(*membership, &error)) {
+        usage_error("--membership: " + error);
+      }
     } else if (arg == "--anomaly") {
       anomaly_name = next();
     } else if (arg == "--victims") {
@@ -563,6 +575,7 @@ int main(int argc, char** argv) {
   if (quiesce) s.quiesce = *quiesce;
   if (seed) s.seed = *seed;
   if (config_name) s.config = config_by_name(*config_name);
+  if (membership) s.membership = *membership;
   if (s.config.lha_suspicion) {
     if (alpha) s.config.suspicion_alpha = *alpha;
     if (beta) s.config.suspicion_beta = *beta;
@@ -592,20 +605,26 @@ int main(int argc, char** argv) {
     for (fault::TimelineEntry& e : fault_entries) s.timeline.add(std::move(e));
   }
 
+  // Mention the backend only when it isn't the default — keeps swim output
+  // (and anything diffing it) byte-identical to pre-backend versions.
+  const std::string membership_note =
+      s.membership == "swim" ? "" : " membership=" + s.membership;
   if (s.timeline.empty()) {
     std::printf("scenario: %s — %d nodes, %s, anomaly=%s victims=%d "
-                "D=%.0fms I=%.0fms length=%.0fs seed=%llu\n\n",
+                "D=%.0fms I=%.0fms length=%.0fs seed=%llu%s\n\n",
                 s.name.c_str(), s.cluster_size, s.config.table1_name().c_str(),
                 anomaly_kind_name(s.anomaly.kind), s.anomaly.victims,
                 s.anomaly.duration.millis(), s.anomaly.interval.millis(),
                 s.run_length.seconds(),
-                static_cast<unsigned long long>(s.seed));
+                static_cast<unsigned long long>(s.seed),
+                membership_note.c_str());
   } else {
     std::printf("scenario: %s — %d nodes, %s, timeline [%s] "
-                "length=%.0fs seed=%llu\n\n",
+                "length=%.0fs seed=%llu%s\n\n",
                 s.name.c_str(), s.cluster_size, s.config.table1_name().c_str(),
                 s.timeline.summary().c_str(), s.run_length.seconds(),
-                static_cast<unsigned long long>(s.seed));
+                static_cast<unsigned long long>(s.seed),
+                membership_note.c_str());
   }
 
   if (check_mode) s.checks = check::Spec::all();
@@ -619,6 +638,11 @@ int main(int argc, char** argv) {
   if (backend == harness::Backend::kLive && campaign_mode) {
     usage_error("--campaign is simulator-only: a statistical sweep needs the "
                 "determinism and speed a real-process cluster cannot offer");
+  }
+  if (backend == harness::Backend::kLive &&
+      membership::base_name(s.membership) != "swim") {
+    usage_error("the live tier only runs the swim backend — '" + s.membership +
+                "' is simulator-only");
   }
 
   // Watchdog: a hard wall-clock ceiling on the whole invocation. On expiry

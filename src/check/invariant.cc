@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "membership/backend.h"
 #include "proto/broadcast.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -309,15 +310,18 @@ class Convergence final : public Invariant {
     const sim::Simulator& sim = *ctx.sim;
     std::set<std::string> expected;
     for (int i = 0; i < sim.size(); ++i) {
-      if (!sim.is_crashed(i) && sim.node(i).running()) {
+      // A backend with no failure detection (static) never prunes a view:
+      // every member stays expected, crashed or not.
+      if (!sim.detects_failures() ||
+          (!sim.is_crashed(i) && sim.agent(i).running())) {
         expected.insert("node-" + std::to_string(i));
       }
     }
     for (int i = 0; i < sim.size(); ++i) {
-      if (sim.is_crashed(i) || !sim.node(i).running()) continue;
+      if (sim.is_crashed(i) || !sim.agent(i).running()) continue;
       std::set<std::string> view;
-      for (const swim::Member* m : sim.node(i).members().all()) {
-        if (swim::is_active(m->state)) view.insert(m->name);
+      for (std::string& name : sim.agent(i).active_view()) {
+        view.insert(std::move(name));
       }
       if (view == expected) continue;
       std::string diff;
@@ -421,6 +425,10 @@ class PartitionContainment final : public Invariant {
 struct Registered {
   const char* name;
   std::unique_ptr<Invariant> (*make)(int cluster_size);
+  /// SWIM-protocol-specific (incarnation precedence, suspicion subprotocol,
+  /// gossip retransmit bound): auto-disabled for non-swim membership
+  /// backends. Generic invariants run everywhere.
+  bool swim_only;
 };
 
 template <typename T>
@@ -434,44 +442,48 @@ std::unique_ptr<Invariant> make_plain(int) {
 }
 
 constexpr Registered kRegistry[] = {
-    {"incarnation-monotonic", &make_with_size<IncarnationMonotonic>},
-    {"refute-before-resurrect", &make_with_size<RefuteBeforeResurrect>},
-    {"suspicion-bounds", &make_with_size<SuspicionBounds>},
-    {"legal-transitions", &make_with_size<LegalTransitions>},
-    {"convergence", &make_plain<Convergence>},
-    {"retransmit-bound", &make_plain<RetransmitBound>},
-    {"no-send-from-crashed", &make_plain<NoSendFromCrashed>},
-    {"partition-containment", &make_plain<PartitionContainment>},
+    {"incarnation-monotonic", &make_with_size<IncarnationMonotonic>, true},
+    {"refute-before-resurrect", &make_with_size<RefuteBeforeResurrect>, true},
+    {"suspicion-bounds", &make_with_size<SuspicionBounds>, true},
+    {"legal-transitions", &make_with_size<LegalTransitions>, false},
+    {"convergence", &make_plain<Convergence>, false},
+    {"retransmit-bound", &make_plain<RetransmitBound>, true},
+    {"no-send-from-crashed", &make_plain<NoSendFromCrashed>, false},
+    {"partition-containment", &make_plain<PartitionContainment>, false},
 };
 
-std::vector<std::unique_ptr<Invariant>> instantiate(const Spec& spec,
-                                                    int cluster_size) {
-  std::vector<std::unique_ptr<Invariant>> out;
-  if (spec.invariants.empty()) {
-    for (const Registered& r : kRegistry) out.push_back(r.make(cluster_size));
-    return out;
+std::vector<std::unique_ptr<Invariant>> instantiate(
+    const Spec& spec, int cluster_size, const std::string& backend_base) {
+  // Name validation first (unknown / duplicate), independent of backend
+  // applicability: a misspelled invariant is an error even when the backend
+  // would have disabled it anyway.
+  for (auto it = spec.invariants.begin(); it != spec.invariants.end(); ++it) {
+    const bool known =
+        std::any_of(std::begin(kRegistry), std::end(kRegistry),
+                    [&it](const Registered& r) { return r.name == *it; });
+    if (!known) {
+      throw std::invalid_argument(
+          "unknown invariant '" + *it +
+          "' — run check::builtin_invariant_names() for the catalog");
+    }
+    if (std::find(spec.invariants.begin(), it, *it) != it) {
+      throw std::invalid_argument(
+          "duplicate invariant names in check::Spec::invariants");
+    }
   }
   // Suite order regardless of request order: verdicts and artifacts stay
-  // stable under spec reordering.
+  // stable under spec reordering. SWIM-specific invariants auto-disable
+  // (silently, even when requested by name) for non-swim backends.
+  const bool swim = backend_base == "swim";
+  std::vector<std::unique_ptr<Invariant>> out;
   for (const Registered& r : kRegistry) {
-    if (std::find(spec.invariants.begin(), spec.invariants.end(), r.name) !=
-        spec.invariants.end()) {
-      out.push_back(r.make(cluster_size));
+    if (r.swim_only && !swim) continue;
+    if (!spec.invariants.empty() &&
+        std::find(spec.invariants.begin(), spec.invariants.end(), r.name) ==
+            spec.invariants.end()) {
+      continue;
     }
-  }
-  if (out.size() != spec.invariants.size()) {
-    for (const std::string& name : spec.invariants) {
-      const bool known =
-          std::any_of(std::begin(kRegistry), std::end(kRegistry),
-                      [&name](const Registered& r) { return r.name == name; });
-      if (!known) {
-        throw std::invalid_argument(
-            "unknown invariant '" + name +
-            "' — run check::builtin_invariant_names() for the catalog");
-      }
-    }
-    throw std::invalid_argument(
-        "duplicate invariant names in check::Spec::invariants");
+    out.push_back(r.make(cluster_size));
   }
   return out;
 }
@@ -490,18 +502,19 @@ const std::vector<std::string>& builtin_invariant_names() {
 std::vector<std::unique_ptr<Invariant>> make_invariants(const Spec& spec) {
   // Cluster-size-independent use (stream-only scans): size the tables for
   // the largest supported cluster.
-  return instantiate(spec, 4096);
+  return instantiate(spec, 4096, "swim");
 }
 
 // ---------------------------------------------------------------------------
 // Checker
 
 Checker::Checker(const Spec& spec, const swim::Config& config,
-                 int cluster_size)
+                 int cluster_size, const std::string& membership)
     : spec_(spec),
       config_(config),
       cluster_size_(cluster_size),
-      invariants_(instantiate(spec, cluster_size)),
+      invariants_(
+          instantiate(spec, cluster_size, membership::base_name(membership))),
       last_restart_(static_cast<std::size_t>(cluster_size), TimePoint{-1}),
       crashed_(static_cast<std::size_t>(cluster_size), false) {
   for (const auto& inv : invariants_) {

@@ -94,8 +94,14 @@ std::vector<std::unique_ptr<Invariant>> make_invariants(const Spec& spec);
 class Checker : public TraceSink {
  public:
   /// `config` / `cluster_size` describe the run under check (bounds and
-  /// state-space sizing). The Spec must have passed validate().
-  Checker(const Spec& spec, const swim::Config& config, int cluster_size);
+  /// state-space sizing). The Spec must have passed validate(). `membership`
+  /// is the run's backend spec (harness::Scenario::membership): SWIM-specific
+  /// invariants (incarnation-monotonic, refute-before-resurrect,
+  /// suspicion-bounds, retransmit-bound) are auto-disabled — silently, even
+  /// when the Spec names them — for non-swim backends; generic invariants
+  /// run everywhere.
+  Checker(const Spec& spec, const swim::Config& config, int cluster_size,
+          const std::string& membership = "swim");
 
   /// Attach the live simulator (enables the state-inspecting checks);
   /// optional for pure stream scans.

@@ -33,6 +33,7 @@ std::optional<harness::Scenario> scenario_from_header(const TraceHeader& h,
   s.anomaly = harness::AnomalyPlan::none();
   s.checks = h.checks;
   s.metrics_interval = h.metrics_interval;
+  s.membership = h.membership;
   if (auto errors = s.validate(); !errors.empty()) {
     error = "trace header rebuilds an invalid scenario: " + errors.front();
     return std::nullopt;

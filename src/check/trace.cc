@@ -154,6 +154,7 @@ TraceHeader make_header(const harness::Scenario& s) {
   h.timeline = timeline_specs(s.effective_timeline());
   h.checks = s.checks;
   h.metrics_interval = s.metrics_interval;
+  h.membership = s.membership;
   return h;
 }
 
@@ -224,7 +225,13 @@ void save_trace(const Trace& t, std::ostream& out) {
       << ",\"cap_us\":" << h.checks.suspicion_cap.us
       << ",\"max_violations\":" << h.checks.max_violations
       << ",\"metrics_us\":" << h.metrics_interval.us
-      << ",\"spans\":" << (h.probe_spans ? "true" : "false") << "}\n";
+      << ",\"spans\":" << (h.probe_spans ? "true" : "false");
+  // Emitted only for non-default backends: pre-membership traces stay
+  // byte-identical (golden-parity) and load with the "swim" default.
+  if (h.membership != "swim") {
+    out << ",\"membership\":\"" << json_escape(h.membership) << "\"";
+  }
+  out << "}\n";
   for (const TraceEvent& e : t.events) {
     out << event_line(e) << "\n";
   }
@@ -495,10 +502,15 @@ bool get_dbl(const JsonObject& o, const std::string& key, double& out,
 }
 
 bool get_str(const JsonObject& o, const std::string& key, std::string& out,
-             std::string& error) {
+             std::string& error, bool required = true) {
   const JsonValue* v = field(o, key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+  if (v == nullptr) {
+    if (!required) return true;  // optional and absent: leave the default
     error = "missing string field '" + key + "'";
+    return false;
+  }
+  if (v->kind != JsonValue::Kind::kString) {
+    error = "field '" + key + "' is not a string";
     return false;
   }
   out = v->text;
@@ -550,6 +562,10 @@ bool parse_header(const JsonObject& o, TraceHeader& h, std::string& error) {
   }
   if (const JsonValue* spans = field(o, "spans")) {
     h.probe_spans = spans->boolean;
+  }
+  // Absent in pre-backend and swim traces; defaults to "swim".
+  if (!get_str(o, "membership", h.membership, error, /*required=*/false)) {
+    return false;
   }
   return true;
 }

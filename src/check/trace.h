@@ -54,6 +54,10 @@ struct TraceHeader {
   Duration metrics_interval{};
   /// True when the recording captured probe-round span events.
   bool probe_spans = false;
+  /// Membership backend spec of the recorded run. The header key is only
+  /// emitted when it differs from "swim" (and defaults to "swim" on load),
+  /// keeping pre-backend traces byte-identical and loadable.
+  std::string membership = "swim";
 };
 
 struct Trace {

@@ -116,7 +116,7 @@ void Cluster::stop() {
   if (impl_->stopped) return;
   impl_->stopped = true;
   if (impl_->sim) {
-    for (int i = 0; i < impl_->size; ++i) impl_->sim->node(i).stop();
+    for (int i = 0; i < impl_->size; ++i) impl_->sim->agent(i).stop();
     return;
   }
   for (auto& agent : impl_->agents) {
@@ -137,7 +137,7 @@ swim::Node& Cluster::node(int index) {
 }
 
 int Cluster::active_members(int index) const {
-  if (impl_->sim) return impl_->sim->node(index).members().num_active();
+  if (impl_->sim) return impl_->sim->agent(index).active_members();
   auto& agent = impl_->agents[static_cast<std::size_t>(index)];
   swim::Node* node = agent.node.get();
   // After stop() the loop threads are joined: posting would never run (and
@@ -150,7 +150,7 @@ int Cluster::active_members(int index) const {
 void Cluster::stop_node(int index) {
   if (impl_->stopped) return;  // already stopped cluster-wide
   if (impl_->sim) {
-    impl_->sim->node(index).stop();
+    impl_->sim->agent(index).stop();
     return;
   }
   auto& agent = impl_->agents[static_cast<std::size_t>(index)];
@@ -236,6 +236,11 @@ ClusterBuilder& ClusterBuilder::record_failures_only(bool on) {
   return *this;
 }
 
+ClusterBuilder& ClusterBuilder::membership(std::string spec) {
+  sim_params_.membership = std::move(spec);
+  return *this;
+}
+
 std::unique_ptr<Cluster> ClusterBuilder::build() const {
   if (size_ < 1) {
     throw std::invalid_argument(
@@ -248,6 +253,12 @@ std::unique_ptr<Cluster> ClusterBuilder::build() const {
         std::to_string(size_) +
         " nodes is above the supported 256 — use the sim backend for large "
         "clusters");
+  }
+  if (backend_ == Cluster::Backend::kUdp && sim_params_.membership != "swim") {
+    throw std::invalid_argument(
+        "ClusterBuilder: the UDP backend only runs the swim membership "
+        "backend (got '" +
+        sim_params_.membership + "') — use the sim backend");
   }
 
   auto impl = std::make_unique<Cluster::Impl>();

@@ -119,6 +119,10 @@ class ClusterBuilder {
   /// its metric extraction reads nothing else, and a big cluster's O(n²)
   /// join storm then never materializes as stored events.
   ClusterBuilder& record_failures_only(bool on);
+  /// Membership backend spec (kSim only; see membership::BackendRegistry):
+  /// "swim" (default), "central", "central:miss=N", "static". The UDP
+  /// backend only runs swim; build() throws otherwise.
+  ClusterBuilder& membership(std::string spec);
 
   std::unique_ptr<Cluster> build() const;
 

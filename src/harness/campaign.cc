@@ -76,6 +76,15 @@ Axis Axis::configs(const std::vector<NamedConfig>& cfgs) {
   return a;
 }
 
+Axis Axis::backend(const std::vector<std::string>& names) {
+  Axis a;
+  a.name = "membership";
+  for (const std::string& name : names) {
+    a.points.push_back({name, 0, [name](Scenario& s) { s.membership = name; }});
+  }
+  return a;
+}
+
 Axis Axis::timeline_at(std::size_t entry, const std::vector<Duration>& values) {
   Axis a;
   a.name = "timeline[" + std::to_string(entry) + "].at";

@@ -66,6 +66,11 @@ struct Axis {
   /// Protocol-configuration sweep. All points share salt 0: runs are paired
   /// across configurations by construction.
   static Axis configs(const std::vector<NamedConfig>& cfgs);
+  /// Membership-backend sweep ("swim", "central", "central:miss=5",
+  /// "static"). All points share salt 0, like configs(): every backend sees
+  /// the same fault schedule at the same grid point, so detection-latency and
+  /// message-load deltas are backend effects, not schedule noise.
+  static Axis backend(const std::vector<std::string>& names);
   /// fault::Timeline sweeps over entry `entry` of the base scenario's
   /// timeline (salt = microseconds; labels in ms, prefixed with the entry
   /// index). Applying a point to a scenario whose timeline lacks that entry

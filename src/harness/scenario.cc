@@ -9,6 +9,7 @@
 #include "check/tap.h"
 #include "cluster/cluster.h"
 #include "fault/injector.h"
+#include "membership/backend.h"
 #include "obs/sampler.h"
 #include "sim/simulator.h"
 #include "swim/events.h"
@@ -196,6 +197,13 @@ std::vector<std::string> Scenario::validate() const {
   }
 
   for (std::string& e : checks.validate()) fail(std::move(e));
+
+  {
+    std::string spec_error;
+    if (!membership::parse_spec(membership, &spec_error)) {
+      fail("membership '" + membership + "': " + spec_error);
+    }
+  }
 
   if (!timeline.empty()) {
     if (anomaly.kind != AnomalyKind::kNone) {
@@ -407,6 +415,7 @@ RunResult run(const Scenario& s, const std::vector<check::TraceSink*>& sinks) {
                      .msg_proc_cost(s.msg_proc_cost)
                      .recv_buffer_bytes(s.recv_buffer_bytes)
                      .record_failures_only(true)
+                     .membership(s.membership)
                      .build();
   sim::Simulator& sim = *cluster->simulator();
 
@@ -416,7 +425,7 @@ RunResult run(const Scenario& s, const std::vector<check::TraceSink*>& sinks) {
   std::optional<check::Checker> checker;
   std::vector<check::TraceSink*> all_sinks = sinks;
   if (s.checks.enabled) {
-    checker.emplace(s.checks, s.config, s.cluster_size);
+    checker.emplace(s.checks, s.config, s.cluster_size, s.membership);
     checker->bind(&sim);
     all_sinks.push_back(&*checker);
   }
@@ -684,6 +693,58 @@ ScenarioRegistry make_builtin() {
     s.timeline.add(sec(20), sec(30), fault::Fault::reorder(0.3, msec(200)),
                    fault::VictimSelector::uniform(6));
     s.run_length = sec(60);
+    reg.add(std::move(s));
+  }
+
+  // ---- membership-backend scenarios (src/membership) ----
+  // The registry's checked entries for the non-swim backends: the central
+  // heartbeat detector under member and coordinator failures, and the static
+  // no-detection control. All run the full invariant suite — the SWIM-only
+  // invariants auto-disable, the generic ones (legal-transitions,
+  // convergence, no-send-from-crashed, partition-containment) stay on.
+  {
+    Scenario s = base("central-crash-detect",
+                      "central heartbeat detector: 3 of 16 members blocked "
+                      "for 20 s; the coordinator declares them failed and "
+                      "re-admits them on recovery",
+                      "");
+    s.cluster_size = 16;
+    s.config = swim::Config::lifeguard();
+    s.membership = "central";
+    s.timeline.add(sec(10), sec(20), fault::Fault::block(),
+                   fault::VictimSelector::nodes({3, 7, 11}));
+    s.run_length = sec(60);
+    s.checks = check::Spec::all();
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("central-coordinator-crash",
+                      "the central detector's single point of failure: the "
+                      "coordinator (node 0) blocked for 15 s; members reach "
+                      "their miss threshold and declare it failed",
+                      "");
+    s.cluster_size = 16;
+    s.config = swim::Config::lifeguard();
+    s.membership = "central:miss=4";
+    s.timeline.add(sec(10), sec(15), fault::Fault::block(),
+                   fault::VictimSelector::nodes({0}));
+    s.run_length = sec(60);
+    s.checks = check::Spec::all();
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s = base("static-floor",
+                      "static membership control: 2 members blocked for 10 s "
+                      "with no detector running — the zero-FP, zero-message "
+                      "noise floor for backend comparisons",
+                      "");
+    s.cluster_size = 16;
+    s.config = swim::Config::lifeguard();
+    s.membership = "static";
+    s.timeline.add(sec(10), sec(10), fault::Fault::block(),
+                   fault::VictimSelector::nodes({5, 9}));
+    s.run_length = sec(30);
+    s.checks = check::Spec::all();
     reg.add(std::move(s));
   }
   // ---- the live tier (src/live): real processes, real UDP on loopback ----

@@ -150,6 +150,15 @@ struct Scenario {
   /// and RunResult metrics are bit-identical with sampling on or off.
   Duration metrics_interval{};
 
+  /// Membership backend spec (membership::BackendRegistry): "swim" (the
+  /// default — SWIM + Lifeguard), "central" / "central:miss=N" (coordinator
+  /// heartbeats), "static" (fixed roster, no detection). Every part of the
+  /// harness — fault timelines, campaigns, invariant checking, telemetry,
+  /// trace record/replay — drives whichever backend is named here.
+  /// SWIM-specific invariants auto-disable for non-swim backends; the sim
+  /// tier only (live runs reject non-swim).
+  std::string membership = "swim";
+
   /// The timeline the engine will execute: `timeline` when non-empty,
   /// otherwise the AnomalyPlan shim's one-entry equivalent.
   fault::Timeline effective_timeline() const;

@@ -17,6 +17,7 @@
 #include "live/fault_plan.h"
 #include "live/merge.h"
 #include "live/process.h"
+#include "membership/backend.h"
 #include "net/udp_runtime.h"
 #include "obs/catalog.h"
 
@@ -672,6 +673,11 @@ std::string find_live_node_binary() {
 harness::RunResult run(const harness::Scenario& s, const RunOptions& opts,
                        const std::vector<check::TraceSink*>& sinks) {
   auto errors = s.validate();
+  if (membership::base_name(s.membership) != "swim") {
+    errors.push_back("membership '" + s.membership +
+                     "' is simulator-only — the live tier's worker processes "
+                     "speak the swim protocol");
+  }
   if (s.cluster_size > kMaxLiveCluster) {
     errors.push_back("cluster_size (" + std::to_string(s.cluster_size) +
                      ") exceeds the live tier's cap (" +

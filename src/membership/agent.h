@@ -1,0 +1,107 @@
+// membership::Agent — the protocol-agnostic seam over one group member.
+//
+// The simulator, cluster facade, checking layer and telemetry sampler used
+// to talk to swim::Node directly; they now talk to this interface, so a
+// Scenario can swap the failure-detection protocol (SWIM/Lifeguard, a
+// centralized heartbeat coordinator, a static no-detection control) without
+// touching any of that machinery. An Agent is one member: it owns its
+// member table, publishes every membership transition it observes on a
+// swim::EventBus (the shape the trace/check/obs layers already consume),
+// and does all I/O through the sans-I/O Runtime it was created with.
+//
+// Contract highlights (docs/membership.md has the full version):
+//   * Single-threaded: all entry points run on the owning runtime's thread.
+//   * Deterministic: an agent draws randomness only from Runtime::rng(), so
+//     a (scenario, seed) pair replays bit-identically.
+//   * Events: state transitions are published as swim::MemberEvent with
+//     `originated` set only on transitions this agent itself decided (its
+//     own detector firing), never when applying another member's report —
+//     false-positive accounting (paper §V-F1) depends on this.
+//   * Views: active_view() returns the names of members this agent currently
+//     believes alive (itself included); convergence checking compares these
+//     across the cluster.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "runtime/runtime.h"
+#include "swim/events.h"
+
+namespace lifeguard::swim {
+class ProbeObserver;
+}  // namespace lifeguard::swim
+
+namespace lifeguard::obs {
+class DetectionMetrics;
+}  // namespace lifeguard::obs
+
+namespace lifeguard::membership {
+
+class Agent : public PacketHandler {
+ public:
+  ~Agent() override = default;
+
+  // ---- lifecycle ----
+  /// Marks self alive and starts the protocol's schedules (probe loops,
+  /// heartbeat timers, ...). Idempotent protocols may ignore a restart.
+  virtual void start() = 0;
+  /// Introduces this agent to the group via the seed addresses. Protocols
+  /// without a join handshake may treat this as a no-op.
+  virtual void join(const std::vector<Address>& seeds) = 0;
+  /// Graceful departure intent; the agent keeps running so the intent can
+  /// disseminate. Call stop() afterwards.
+  virtual void leave() = 0;
+  /// Cancels all timers; the agent goes quiet. Idempotent.
+  virtual void stop() = 0;
+  virtual bool running() const = 0;
+
+  // ---- runtime callbacks ----
+  // on_packet() is inherited from PacketHandler.
+  /// Invoked when an injected anomaly that was blocking this agent's I/O
+  /// ends; protocols with stalled loops resume them here.
+  virtual void on_unblocked() = 0;
+
+  // ---- identity ----
+  virtual const std::string& name() const = 0;
+  virtual const Address& address() const = 0;
+
+  // ---- events ----
+  /// Attach an observer to this agent's membership-transition stream.
+  [[nodiscard]] virtual swim::EventBus::Subscription subscribe(
+      swim::EventBus::Handler fn) = 0;
+
+  // ---- membership view ----
+  /// Members this agent currently believes alive, itself included.
+  virtual int active_members() const = 0;
+  /// Names of those members, in no particular order.
+  virtual std::vector<std::string> active_view() const = 0;
+  /// Members currently in the suspect limbo state (0 for protocols without
+  /// a suspicion stage).
+  virtual int suspect_count() const { return 0; }
+  /// Members this agent has declared failed.
+  virtual int dead_count() const { return 0; }
+
+  // ---- telemetry ----
+  virtual Metrics& metrics() = 0;
+  virtual const Metrics& metrics() const = 0;
+  /// Lifeguard local-health score (0 for protocols without one).
+  virtual double health_score() const { return 0.0; }
+  /// Depth of the gossip/dissemination queue (0 when there is none).
+  virtual std::size_t pending_broadcast_count() const { return 0; }
+  /// Total piggybacked gossip transmissions (0 when there is no gossip).
+  virtual std::int64_t gossip_transmits_total() const { return 0; }
+  /// Probe-pipeline lifecycle observer (telemetry spans). Only meaningful
+  /// for probe-based protocols; the default ignores the observer.
+  virtual void set_probe_observer(swim::ProbeObserver*) {}
+  /// Typed view of the backend-generic detection metrics (heartbeat
+  /// counters, coordinator RTT), or nullptr when the protocol does not
+  /// maintain them (swim's probe pipeline has its own typed facade).
+  virtual const obs::DetectionMetrics* detection() const { return nullptr; }
+};
+
+}  // namespace lifeguard::membership

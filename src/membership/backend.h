@@ -1,0 +1,92 @@
+// membership::Backend — named factories for membership Agents.
+//
+// A Backend is a protocol: it knows how to create one Agent per cluster
+// member against a Runtime. The BackendRegistry maps spec strings (the
+// `membership` field of a harness::Scenario, the --membership CLI flag, the
+// trace-header key) to backends. A spec is `NAME[:key=value,...]`; the part
+// before the colon selects the backend, the rest parameterizes it:
+//
+//   swim             SWIM + Lifeguard (the default; swim::Node unchanged)
+//   central          coordinator-based heartbeat detection; node 0 is the
+//                    coordinator. Heartbeat interval / ack timeout reuse the
+//                    scenario Config's probe_interval / probe_timeout, so
+//                    existing config axes sweep the central backend too.
+//   central:miss=N   override the consecutive-miss threshold (default 3)
+//   static           fixed membership, no detection — the control/noise
+//                    floor for comparative campaigns
+//
+// Invariant applicability: swim-specific invariants (suspicion-bounds,
+// refute-before-resurrect, incarnation-monotonic, retransmit-bound) only
+// run when base() == "swim"; check::Checker auto-disables them otherwise.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "membership/agent.h"
+#include "swim/config.h"
+
+namespace lifeguard::membership {
+
+/// A parsed `NAME[:key=value,...]` membership spec.
+struct BackendSpec {
+  std::string spec = "swim";  ///< the full spec string, verbatim
+  std::string base = "swim";  ///< backend name (the part before ':')
+  int miss_threshold = 3;     ///< central: consecutive misses before failed
+};
+
+/// The backend name portion of a spec string (everything before the first
+/// ':'), without validating the parameters. "central:miss=5" -> "central".
+std::string base_name(std::string_view spec);
+
+/// Parses and validates `spec`. On failure returns nullopt and sets `error`
+/// to a human-readable reason (unknown backend, bad parameter, ...).
+std::optional<BackendSpec> parse_spec(std::string_view spec,
+                                      std::string* error = nullptr);
+
+/// Everything a backend needs to build one member's agent.
+struct AgentParams {
+  std::string name;          ///< "node-<index>" under the simulator
+  Address address{};
+  int index = 0;             ///< position in the cluster, 0-based
+  int cluster_size = 0;
+  swim::Config config{};     ///< protocol timing knobs (shared across backends)
+  BackendSpec spec{};        ///< parsed membership spec (backend parameters)
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  /// Registry key ("swim", "central", "static").
+  virtual const std::string& name() const = 0;
+  /// One-line description for catalogs and docs.
+  virtual const std::string& summary() const = 0;
+  /// False for control backends that never declare a member failed; the
+  /// convergence invariant then expects every member in every view, and
+  /// detection-latency extraction knows to expect no failure events.
+  virtual bool detects_failures() const = 0;
+  virtual std::unique_ptr<Agent> create(const AgentParams& params,
+                                        Runtime& rt) const = 0;
+};
+
+/// Immutable name -> Backend table. builtin() holds the three in-tree
+/// backends; find() accepts either a bare name or a full spec string.
+class BackendRegistry {
+ public:
+  static const BackendRegistry& builtin();
+
+  /// Lookup by backend name or spec string; nullptr when unknown.
+  const Backend* find(std::string_view name_or_spec) const;
+  /// Backend names in catalog order (swim first).
+  std::vector<std::string> names() const;
+  const std::vector<const Backend*>& all() const { return backends_; }
+
+ private:
+  std::vector<const Backend*> backends_;
+};
+
+}  // namespace lifeguard::membership

@@ -36,6 +36,12 @@ const char* metric_name(Metric m) {
       return "sim.events.rate";
     case Metric::kGossipTransmitsRate:
       return "gossip.transmits.rate";
+    case Metric::kHeartbeatSentTotal:
+      return "detect.heartbeat.sent.total";
+    case Metric::kHeartbeatMissedTotal:
+      return "detect.heartbeat.missed.total";
+    case Metric::kCoordinatorRttMeanUs:
+      return "detect.coordinator.rtt.mean_us";
   }
   return "?";
 }

@@ -39,9 +39,16 @@ enum class Metric : std::uint8_t {
   kSimQueueDepth = 13,      ///< simulator event-queue depth (sim only)
   kSimEventsRate = 14,      ///< simulator events executed per second (sim only)
   kGossipTransmitsRate = 15,  ///< piggyback frames sent per second (saturation)
+  // Backend-generic detection metrics (membership backends with explicit
+  // heartbeats — central today). The sampler emits ids 16..18 only for
+  // non-swim backends, keeping swim series byte-identical to pre-backend
+  // recordings.
+  kHeartbeatSentTotal = 16,    ///< cumulative heartbeats sent (cluster-wide)
+  kHeartbeatMissedTotal = 17,  ///< cumulative heartbeat deadline misses
+  kCoordinatorRttMeanUs = 18,  ///< mean heartbeat->ack RTT this interval (us)
 };
 
-inline constexpr int kMetricCount = 16;
+inline constexpr int kMetricCount = 19;
 
 /// Dotted-path name ("probe.rtt.mean_us"); "?" for an out-of-range value.
 const char* metric_name(Metric m);

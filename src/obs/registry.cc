@@ -68,4 +68,37 @@ void NodeMetrics::count_received(std::size_t bytes) {
   bytes_received_->add(static_cast<std::int64_t>(bytes));
 }
 
+DetectionMetrics::DetectionMetrics(Metrics& m)
+    : metrics_(&m),
+      msgs_sent_(&m.counter("net.msgs_sent")),
+      bytes_sent_(&m.counter("net.bytes_sent")),
+      msgs_received_(&m.counter("net.msgs_received")),
+      bytes_received_(&m.counter("net.bytes_received")),
+      malformed_(&m.counter("net.malformed")),
+      heartbeat_sent_(&m.counter("detect.heartbeat_sent")),
+      heartbeat_missed_(&m.counter("detect.heartbeat_missed")),
+      coordinator_rtt_us_(&m.histogram("detect.coordinator_rtt_us")) {}
+
+void DetectionMetrics::count_sent(const char* type, std::size_t bytes) {
+  msgs_sent_->add();
+  bytes_sent_->add(static_cast<std::int64_t>(bytes));
+  Counter* type_counter = nullptr;
+  for (const auto& [t, c] : sent_type_) {
+    if (t == type) {
+      type_counter = c;
+      break;
+    }
+  }
+  if (type_counter == nullptr) {
+    type_counter = &metrics_->counter(std::string("net.sent.") + type);
+    sent_type_.emplace_back(type, type_counter);
+  }
+  type_counter->add();
+}
+
+void DetectionMetrics::count_received(std::size_t bytes) {
+  msgs_received_->add();
+  bytes_received_->add(static_cast<std::int64_t>(bytes));
+}
+
 }  // namespace lifeguard::obs

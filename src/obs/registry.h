@@ -157,4 +157,42 @@ class NodeMetrics {
   Gauge gossip_pending_;
 };
 
+/// Typed facade for the backend-generic detection metrics that heartbeat
+/// protocols (membership/central.h) maintain: heartbeat traffic, missed
+/// deadlines, and the member-observed coordinator round-trip. Same idiom as
+/// NodeMetrics — every fixed-name metric resolves once at bind time and hot
+/// paths bump plain pointers. The names feed the obs catalog ids 16..18
+/// (obs/catalog.h); swim leaves them untouched, so the sampler only emits
+/// those series for non-swim backends.
+class DetectionMetrics {
+ public:
+  explicit DetectionMetrics(Metrics& m);
+
+  /// One outbound protocol datagram: bumps net.msgs_sent / net.bytes_sent
+  /// plus the per-kind "net.sent.<type>" counter, mirroring
+  /// NodeMetrics::count_sent so harness message-load accounting is
+  /// backend-uniform. `type` must be a string literal.
+  void count_sent(const char* type, std::size_t bytes);
+  void count_received(std::size_t bytes);
+  Counter& malformed() { return *malformed_; }
+
+  Counter& heartbeat_sent() { return *heartbeat_sent_; }
+  Counter& heartbeat_missed() { return *heartbeat_missed_; }
+  /// Member-side heartbeat -> ack round-trip, in (virtual) microseconds.
+  Histogram& coordinator_rtt_us() { return *coordinator_rtt_us_; }
+  const Histogram& coordinator_rtt_us() const { return *coordinator_rtt_us_; }
+
+ private:
+  Metrics* metrics_;
+  Counter* msgs_sent_;
+  Counter* bytes_sent_;
+  Counter* msgs_received_;
+  Counter* bytes_received_;
+  Counter* malformed_;
+  std::vector<std::pair<const char*, Counter*>> sent_type_;
+  Counter* heartbeat_sent_;
+  Counter* heartbeat_missed_;
+  Histogram* coordinator_rtt_us_;
+};
+
 }  // namespace lifeguard::obs

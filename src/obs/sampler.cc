@@ -11,7 +11,7 @@ namespace {
 double counter_sum(const sim::Simulator& sim, const std::string& name) {
   double total = 0;
   for (int i = 0; i < sim.size(); ++i) {
-    total += static_cast<double>(sim.node(i).metrics().counter_value(name));
+    total += static_cast<double>(sim.agent(i).metrics().counter_value(name));
   }
   return total;
 }
@@ -62,18 +62,16 @@ void Sampler::tick() {
   double lhm_sum = 0, lhm_max = 0;
   double pending_sum = 0, pending_max = 0;
   for (int i = 0; i < sim_.size(); ++i) {
-    const swim::Node& n = sim_.node(i);
-    if (!n.running()) continue;
+    const membership::Agent& a = sim_.agent(i);
+    if (!a.running()) continue;
     ++views;
-    active += static_cast<double>(n.members().num_active());
-    for (const swim::Member* m : n.members().all()) {
-      if (m->state == swim::MemberState::kSuspect) suspect += 1;
-      if (m->state == swim::MemberState::kDead) dead += 1;
-    }
-    const double lhm = static_cast<double>(n.local_health().score());
+    active += static_cast<double>(a.active_members());
+    suspect += static_cast<double>(a.suspect_count());
+    dead += static_cast<double>(a.dead_count());
+    const double lhm = a.health_score();
     lhm_sum += lhm;
     lhm_max = std::max(lhm_max, lhm);
-    const double pending = static_cast<double>(n.pending_broadcasts());
+    const double pending = static_cast<double>(a.pending_broadcast_count());
     pending_sum += pending;
     pending_max = std::max(pending_max, pending);
   }
@@ -82,7 +80,7 @@ void Sampler::tick() {
   // ---- probe RTT: per-interval mean over this window's new samples ----
   double rtt_count = 0, rtt_sum = 0;
   for (int i = 0; i < sim_.size(); ++i) {
-    const auto& hists = sim_.node(i).metrics().histograms();
+    const auto& hists = sim_.agent(i).metrics().histograms();
     const auto it = hists.find("probe.rtt_us");
     if (it == hists.end()) continue;
     rtt_count += static_cast<double>(it->second.count());
@@ -101,8 +99,7 @@ void Sampler::tick() {
   const double fails = counter_sum(sim_, "probe.failed");
   double transmits = 0;
   for (int i = 0; i < sim_.size(); ++i) {
-    transmits +=
-        static_cast<double>(sim_.node(i).broadcasts().total_transmits());
+    transmits += static_cast<double>(sim_.agent(i).gossip_transmits_total());
   }
 
   // Emitted in catalog id order — the series (and the recorded trace) are
@@ -124,6 +121,31 @@ void Sampler::tick() {
   emit(Metric::kSimEventsRate,
        rate(static_cast<double>(sim_.queue().executed()), prev_events_));
   emit(Metric::kGossipTransmitsRate, rate(transmits, prev_transmits_));
+
+  // Backend-generic detection metrics (ids 16..18) are emitted only for
+  // non-swim backends: swim never populates the detect.* instruments, and
+  // skipping the emits keeps swim series byte-identical to recordings made
+  // before the membership seam existed.
+  if (sim_.membership_base() != "swim") {
+    emit(Metric::kHeartbeatSentTotal,
+         counter_sum(sim_, "detect.heartbeat_sent"));
+    emit(Metric::kHeartbeatMissedTotal,
+         counter_sum(sim_, "detect.heartbeat_missed"));
+    double hb_count = 0, hb_sum = 0;
+    for (int i = 0; i < sim_.size(); ++i) {
+      const auto& hists = sim_.agent(i).metrics().histograms();
+      const auto it = hists.find("detect.coordinator_rtt_us");
+      if (it == hists.end()) continue;
+      hb_count += static_cast<double>(it->second.count());
+      hb_sum += it->second.sum();
+    }
+    const double dh_count = hb_count - prev_hb_rtt_count_;
+    const double dh_sum = hb_sum - prev_hb_rtt_sum_;
+    prev_hb_rtt_count_ = hb_count;
+    prev_hb_rtt_sum_ = hb_sum;
+    emit(Metric::kCoordinatorRttMeanUs,
+         dh_count > 0 ? dh_sum / dh_count : 0.0);
+  }
 
   prev_at_ = now;
   sim_.at(now + interval_, [this] { tick(); });

@@ -57,6 +57,8 @@ class Sampler {
   double prev_rtt_count_ = 0;
   double prev_rtt_sum_ = 0;
   double prev_events_ = 0;
+  double prev_hb_rtt_count_ = 0;
+  double prev_hb_rtt_sum_ = 0;
   TimePoint prev_at_{};
 };
 

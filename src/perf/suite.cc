@@ -145,6 +145,30 @@ Measurement bench_membership_selection(const SuiteOptions& opt) {
   });
 }
 
+Measurement bench_agent_dispatch(const SuiteOptions& opt) {
+  // The membership::Backend seam's cost: the sampler's per-tick access
+  // pattern (view size, suspect/dead counts, health, queue depth) through
+  // the Agent vtable. The cluster is built and settled outside the timed
+  // loop — this measures dispatch, not simulation.
+  constexpr std::int64_t kBatch = 100'000;
+  sim::SimParams p;
+  p.seed = 11;
+  p.record_failures_only = true;
+  sim::Simulator sim(16, swim::Config::lifeguard(), p);
+  sim.start_all();
+  sim.run_for(sec(10));
+  return timed_loop(opt, kBatch, [&sim] {
+    double sink = 0;
+    for (std::int64_t i = 0; i < kBatch; ++i) {
+      const membership::Agent& a = sim.agent(static_cast<int>(i % 16));
+      sink += static_cast<double>(a.active_members() + a.suspect_count() +
+                                  a.dead_count() + a.pending_broadcast_count());
+      sink += a.health_score();
+    }
+    if (sink < 0) throw std::runtime_error("impossible");
+  });
+}
+
 // ---------------------------------------------------------------------------
 // sim suite — whole-simulator throughput
 
@@ -211,6 +235,9 @@ const std::vector<BenchCase>& micro_cases() {
        bench_broadcast_queue, false},
       {"micro/membership-selection", "random gossip-target selection, n=256",
        bench_membership_selection, false},
+      {"micro/agent-dispatch",
+       "sampler access pattern through the membership::Agent vtable, n=16",
+       bench_agent_dispatch, false},
   };
   return cases;
 }

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <stdexcept>
 #include <string_view>
 #include <utility>
 
@@ -12,22 +13,39 @@ Address sim_address(int node_index) {
 Simulator::Simulator(int num_nodes, const swim::Config& cfg, SimParams params)
     : rng_(params.seed), cfg_(cfg),
       record_failures_only_(params.record_failures_only) {
+  std::string spec_error;
+  const auto spec = membership::parse_spec(params.membership, &spec_error);
+  if (!spec) throw std::invalid_argument(spec_error);
+  spec_ = *spec;
+  backend_ = membership::BackendRegistry::builtin().find(spec_.base);
   network_ = std::make_unique<Network>(params.network, num_nodes, rng_.fork());
   runtimes_.reserve(static_cast<std::size_t>(num_nodes));
   listeners_.reserve(static_cast<std::size_t>(num_nodes));
-  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  agents_.reserve(static_cast<std::size_t>(num_nodes));
   subscriptions_.resize(static_cast<std::size_t>(num_nodes));
   crashed_.assign(static_cast<std::size_t>(num_nodes), false);
   for (int i = 0; i < num_nodes; ++i) {
-    const Address addr = sim_address(i);
+    // Backend creation is argument-for-argument the old direct
+    // make_unique<swim::Node> call and draws no randomness, preserving the
+    // simulator's golden-seed bit-parity for the swim backend.
     runtimes_.push_back(std::make_unique<SimRuntime>(
-        *this, i, addr, rng_.fork(), params.msg_proc_cost,
+        *this, i, sim_address(i), rng_.fork(), params.msg_proc_cost,
         params.recv_buffer_bytes));
     listeners_.push_back(std::make_unique<swim::RecordingListener>());
-    nodes_.push_back(std::make_unique<swim::Node>(
-        "node-" + std::to_string(i), addr, cfg_, *runtimes_.back()));
+    agents_.push_back(backend_->create(agent_params(i), *runtimes_.back()));
     attach_node(i);
   }
+}
+
+membership::AgentParams Simulator::agent_params(int index) const {
+  membership::AgentParams p;
+  p.name = "node-" + std::to_string(index);
+  p.address = sim_address(index);
+  p.index = index;
+  p.cluster_size = static_cast<int>(crashed_.size());
+  p.config = cfg_;
+  p.spec = spec_;
+  return p;
 }
 
 namespace {
@@ -74,7 +92,7 @@ void Simulator::ProbeTap::on_probe_nack(const std::string& /*target*/,
 
 void Simulator::attach_node(int index) {
   const auto i = static_cast<std::size_t>(index);
-  swim::Node* node = nodes_[i].get();
+  membership::Agent* agent = agents_[i].get();
   swim::RecordingListener* rec = listeners_[i].get();
   swim::EventBus* bus = &bus_;
   // When record_failures_only_ is set, retain only failure declarations
@@ -82,37 +100,38 @@ void Simulator::attach_node(int index) {
   // full stream.
   const bool all = !record_failures_only_;
   subscriptions_[i] =
-      node->subscribe([rec, bus, all](const swim::MemberEvent& e) {
+      agent->subscribe([rec, bus, all](const swim::MemberEvent& e) {
         if (all || e.type == swim::EventType::kFailed) rec->on_event(e);
         bus->publish(e);
       });
-  runtimes_[i]->attach(node, [node] { node->on_unblocked(); });
+  runtimes_[i]->attach(agent, [agent] { agent->on_unblocked(); });
   // Probe-span telemetry: one adapter per slot, surviving restart_node (the
-  // fresh incarnation gets the same tap re-installed).
+  // fresh incarnation gets the same tap re-installed). Backends without a
+  // probe pipeline ignore the observer.
   if (probe_taps_.size() <= i) probe_taps_.resize(i + 1);
   if (probe_taps_[i] == nullptr) {
     probe_taps_[i] = std::make_unique<ProbeTap>();
     probe_taps_[i]->sim = this;
     probe_taps_[i]->node = index;
   }
-  node->set_probe_observer(probe_taps_[i].get());
+  agent->set_probe_observer(probe_taps_[i].get());
 }
 
 Simulator::~Simulator() {
-  // Nodes cancel timers against the queue in their destructors; destroy them
-  // before the queue (member order already guarantees this; being explicit
-  // guards against reordering).
-  nodes_.clear();
+  // Agents cancel timers against the queue in their destructors; destroy
+  // them before the queue (member order already guarantees this; being
+  // explicit guards against reordering).
+  agents_.clear();
 }
 
 void Simulator::start_all() {
-  for (auto& node : nodes_) node->start();
+  for (auto& agent : agents_) agent->start();
   // Stagger joins within the first second, like agents brought up by a
   // provisioning system; everyone joins through node 0.
   for (int i = 1; i < size(); ++i) {
     const Duration jitter{rng_.uniform_range(1000, 1000000)};
-    swim::Node* node = nodes_[static_cast<std::size_t>(i)].get();
-    at(now_ + jitter, [node] { node->join({sim_address(0)}); });
+    membership::Agent* agent = agents_[static_cast<std::size_t>(i)].get();
+    at(now_ + jitter, [agent] { agent->join({sim_address(0)}); });
   }
 }
 
@@ -125,9 +144,9 @@ void Simulator::run_until(TimePoint t) {
 void Simulator::run_for(Duration d) { run_until(now_ + d); }
 
 bool Simulator::converged(int expected_active) const {
-  for (const auto& node : nodes_) {
-    if (!node->running()) continue;
-    if (node->members().num_active() != expected_active) return false;
+  for (const auto& agent : agents_) {
+    if (!agent->running()) continue;
+    if (agent->active_members() != expected_active) return false;
   }
   return true;
 }
@@ -149,23 +168,22 @@ bool Simulator::is_blocked(int index) const {
 void Simulator::crash_node(int index) {
   note(SimEventKind::kCrash, index);
   crashed_[static_cast<std::size_t>(index)] = true;
-  nodes_[static_cast<std::size_t>(index)]->stop();
+  agents_[static_cast<std::size_t>(index)]->stop();
 }
 
 void Simulator::restart_node(int index) {
   note(SimEventKind::kRestart, index);
   const auto i = static_cast<std::size_t>(index);
-  retired_metrics_.merge(nodes_[i]->metrics());
+  retired_metrics_.merge(agents_[i]->metrics());
   crashed_[i] = false;
   runtimes_[i]->set_blocked(false);
-  const Address addr = sim_address(index);
-  nodes_[i] = std::make_unique<swim::Node>("node-" + std::to_string(index),
-                                           addr, cfg_, *runtimes_[i]);
+  agents_[i] = backend_->create(agent_params(index), *runtimes_[i]);
   attach_node(index);
-  nodes_[i]->start();
-  // Rejoin through node 0 (it learns of its stale dead entry via push-pull
-  // and refutes with a higher incarnation).
-  if (index != 0) nodes_[i]->join({sim_address(0)});
+  agents_[i]->start();
+  // Rejoin through node 0 (swim learns of its stale dead entry via push-pull
+  // and refutes with a higher incarnation; central re-registers with the
+  // coordinator).
+  if (index != 0) agents_[i]->join({sim_address(0)});
 }
 
 void Simulator::at(TimePoint t, Task fn) { queue_.push(t, std::move(fn)); }
@@ -259,7 +277,7 @@ int Simulator::index_of(const Address& addr) const {
 Metrics Simulator::aggregate_metrics() const {
   Metrics out;
   out.merge(retired_metrics_);
-  for (const auto& node : nodes_) out.merge(node->metrics());
+  for (const auto& agent : agents_) out.merge(agent->metrics());
   out.merge(network_->metrics());
   return out;
 }

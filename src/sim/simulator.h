@@ -1,6 +1,9 @@
 // Simulator — owns the virtual clock, event queue, network model and the
-// cluster of SWIM nodes. Deterministic: a (config, seed) pair replays
-// identically.
+// cluster of membership agents. Deterministic: a (config, seed) pair replays
+// identically. The failure-detection protocol is pluggable via
+// SimParams::membership (membership::BackendRegistry); the default "swim"
+// backend is bit-parity with the simulator's original direct use of
+// swim::Node.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "membership/backend.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/sim_runtime.h"
@@ -68,6 +72,10 @@ struct SimParams {
   /// UDP datagrams past this are dropped; the reliable channel (TCP) is
   /// flow-controlled and never overflow-dropped.
   std::size_t recv_buffer_bytes = 256 * 1024;
+  /// Membership backend spec ("swim", "central", "central:miss=5",
+  /// "static"); see membership::BackendRegistry. The constructor throws
+  /// std::invalid_argument on an unknown or malformed spec.
+  std::string membership = "swim";
 };
 
 /// Address scheme for simulated nodes: ip = index + 1, port = 7946.
@@ -113,11 +121,29 @@ class Simulator {
 
   // ---- access ----
   TimePoint now() const { return now_; }
-  int size() const { return static_cast<int>(nodes_.size()); }
-  swim::Node& node(int index) { return *nodes_[static_cast<std::size_t>(index)]; }
-  const swim::Node& node(int index) const {
-    return *nodes_[static_cast<std::size_t>(index)];
+  int size() const { return static_cast<int>(agents_.size()); }
+  /// The protocol-agnostic agent at `index` (any backend).
+  membership::Agent& agent(int index) {
+    return *agents_[static_cast<std::size_t>(index)];
   }
+  const membership::Agent& agent(int index) const {
+    return *agents_[static_cast<std::size_t>(index)];
+  }
+  /// SWIM-specific access; throws std::bad_cast when the cluster runs a
+  /// non-swim backend (callers that need swim internals — probe state,
+  /// suspicion tables — are swim-only by definition).
+  swim::Node& node(int index) {
+    return dynamic_cast<swim::Node&>(agent(index));
+  }
+  const swim::Node& node(int index) const {
+    return dynamic_cast<const swim::Node&>(agent(index));
+  }
+  /// The backend spec this cluster was built with ("swim" by default).
+  const std::string& membership_name() const { return spec_.spec; }
+  /// The backend name without parameters ("central:miss=5" -> "central").
+  const std::string& membership_base() const { return spec_.base; }
+  /// False for control backends (static) that never declare failures.
+  bool detects_failures() const { return backend_->detects_failures(); }
   SimRuntime& runtime(int index) {
     return *runtimes_[static_cast<std::size_t>(index)];
   }
@@ -169,6 +195,10 @@ class Simulator {
  private:
   int index_of(const Address& addr) const;
 
+  /// Factory arguments for the agent in slot `index` (also used by
+  /// restart_node to build the replacement incarnation).
+  membership::AgentParams agent_params(int index) const;
+
   /// Wire node `index`'s event bus to its RecordingListener.
   void attach_node(int index);
 
@@ -190,11 +220,13 @@ class Simulator {
   EventQueue queue_;
   Rng rng_;
   swim::Config cfg_;
+  membership::BackendSpec spec_;
+  const membership::Backend* backend_ = nullptr;
   swim::EventBus bus_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<SimRuntime>> runtimes_;
   std::vector<std::unique_ptr<swim::RecordingListener>> listeners_;
-  std::vector<std::unique_ptr<swim::Node>> nodes_;
+  std::vector<std::unique_ptr<membership::Agent>> agents_;
   std::vector<swim::EventBus::Subscription> subscriptions_;
   std::vector<bool> crashed_;
   std::vector<std::pair<int, SimTap>> sim_taps_;

@@ -357,4 +357,29 @@ std::optional<MemberState> Node::state_of(const std::string& member) const {
   return m->state;
 }
 
+std::vector<std::string> Node::active_view() const {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(table_.num_active()));
+  for (const Member* m : table_.all()) {
+    if (is_active(m->state)) out.push_back(m->name);
+  }
+  return out;
+}
+
+int Node::suspect_count() const {
+  int n = 0;
+  for (const Member* m : table_.all()) {
+    n += m->state == MemberState::kSuspect ? 1 : 0;
+  }
+  return n;
+}
+
+int Node::dead_count() const {
+  int n = 0;
+  for (const Member* m : table_.all()) {
+    n += m->state == MemberState::kDead ? 1 : 0;
+  }
+  return n;
+}
+
 }  // namespace lifeguard::swim

@@ -28,6 +28,7 @@
 #include "common/logger.h"
 #include "common/metrics.h"
 #include "common/types.h"
+#include "membership/agent.h"
 #include "obs/registry.h"
 #include "proto/broadcast.h"
 #include "proto/wire.h"
@@ -43,7 +44,7 @@ namespace lifeguard::swim {
 
 class ProbeObserver;
 
-class Node : public PacketHandler {
+class Node : public membership::Agent {
  public:
   /// Membership transitions are published on events(); attach observers with
   /// subscribe(). `listener` is a deprecated convenience — a non-null pointer
@@ -55,42 +56,42 @@ class Node : public PacketHandler {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  // ---- lifecycle ----
+  // ---- lifecycle (membership::Agent) ----
   /// Marks self alive and begins the probe / gossip / push-pull schedules.
-  void start();
+  void start() override;
   /// Initiates a push-pull join exchange with each seed address.
-  void join(const std::vector<Address>& seeds);
+  void join(const std::vector<Address>& seeds) override;
   /// Graceful leave: broadcasts a dead-about-self (left) message. The node
   /// keeps running so the intent disseminates; call stop() afterwards.
-  void leave();
+  void leave() override;
   /// Cancels all timers; the node goes quiet. Idempotent.
-  void stop();
-  bool running() const { return running_; }
+  void stop() override;
+  bool running() const override { return running_; }
 
   // ---- runtime callbacks ----
   void on_packet(const Address& from, std::span<const std::uint8_t> payload,
                  Channel channel) override;
   /// Invoked by the simulator when an injected anomaly ends; re-enables the
   /// stalled probe/gossip loops.
-  void on_unblocked();
+  void on_unblocked() override;
 
   // ---- events ----
   /// Bus carrying every membership transition this node observes.
   const EventBus& events() const { return events_; }
   /// Shorthand for events().subscribe(fn).
-  [[nodiscard]] EventBus::Subscription subscribe(EventBus::Handler fn) {
+  [[nodiscard]] EventBus::Subscription subscribe(EventBus::Handler fn) override {
     return events_.subscribe(std::move(fn));
   }
 
   // ---- introspection ----
-  const std::string& name() const { return name_; }
-  const Address& address() const { return addr_; }
+  const std::string& name() const override { return name_; }
+  const Address& address() const override { return addr_; }
   const Config& config() const { return cfg_; }
   const MembershipTable& members() const { return table_; }
   const LocalHealth& local_health() const { return health_; }
   std::uint64_t incarnation() const { return incarnation_; }
-  Metrics& metrics() { return metrics_; }
-  const Metrics& metrics() const { return metrics_; }
+  Metrics& metrics() override { return metrics_; }
+  const Metrics& metrics() const override { return metrics_; }
   Logger& logger() { return log_; }
   /// Convenience for tests/harness: this node's view of `member`'s state, or
   /// nullopt when unknown.
@@ -102,7 +103,22 @@ class Node : public PacketHandler {
   const obs::NodeMetrics& observed() const { return obs_; }
   /// Attach a probe-pipeline lifecycle observer (telemetry spans); nullptr
   /// detaches. The observer must outlive the node or be detached first.
-  void set_probe_observer(ProbeObserver* o) { probe_observer_ = o; }
+  void set_probe_observer(ProbeObserver* o) override { probe_observer_ = o; }
+
+  // ---- membership::Agent views ----
+  int active_members() const override { return table_.num_active(); }
+  std::vector<std::string> active_view() const override;
+  int suspect_count() const override;
+  int dead_count() const override;
+  double health_score() const override {
+    return static_cast<double>(health_.score());
+  }
+  std::size_t pending_broadcast_count() const override {
+    return bcast_.pending();
+  }
+  std::int64_t gossip_transmits_total() const override {
+    return bcast_.total_transmits();
+  }
 
  private:
   // ---- outbound (node.cc) ----

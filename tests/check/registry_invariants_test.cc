@@ -16,6 +16,7 @@
 #include "harness/campaign.h"
 #include "harness/report.h"
 #include "harness/scenario.h"
+#include "membership/backend.h"
 
 namespace lifeguard {
 namespace {
@@ -26,7 +27,7 @@ using harness::ScenarioRegistry;
 
 TEST(RegistryInvariants, AllScenariosPassTheFullSuite) {
   const auto& catalog = ScenarioRegistry::builtin().all();
-  ASSERT_EQ(catalog.size(), 23u) << "catalog drifted — update this suite";
+  ASSERT_EQ(catalog.size(), 26u) << "catalog drifted — update this suite";
 
   // The big-* tier (n >= 1000) runs minutes of wall time per scenario; it
   // has its own coverage (tests/big/big_scenario_test.cc runs one big
@@ -37,10 +38,11 @@ TEST(RegistryInvariants, AllScenariosPassTheFullSuite) {
   for (const Scenario& s : catalog) {
     if (s.cluster_size < 1000) all.push_back(s);
   }
-  ASSERT_EQ(all.size(), 19u);
+  ASSERT_EQ(all.size(), 22u);
 
   struct Outcome {
     std::string name;
+    std::string membership;
     check::RunReport report;
     check::Trace trace;
   };
@@ -60,7 +62,7 @@ TEST(RegistryInvariants, AllScenariosPassTheFullSuite) {
         s.checks = check::Spec::all();
         check::TraceRecorder recorder(s);
         const RunResult r = harness::run(s, {&recorder});
-        outcomes[i] = {s.name, r.checks, recorder.take()};
+        outcomes[i] = {s.name, s.membership, r.checks, recorder.take()};
       }
     });
   }
@@ -68,9 +70,14 @@ TEST(RegistryInvariants, AllScenariosPassTheFullSuite) {
 
   for (const Outcome& o : outcomes) {
     EXPECT_TRUE(o.report.checked) << o.name;
-    EXPECT_EQ(o.report.invariants.size(),
-              check::builtin_invariant_names().size())
-        << o.name;
+    // Swim scenarios run the full suite; non-swim backends run the four
+    // protocol-generic invariants (swim-only ones auto-disable — see
+    // docs/membership.md).
+    const std::size_t expected =
+        membership::base_name(o.membership) == "swim"
+            ? check::builtin_invariant_names().size()
+            : 4u;
+    EXPECT_EQ(o.report.invariants.size(), expected) << o.name;
     if (o.report.total_violations == 0) continue;
     std::filesystem::create_directories("traces");
     const std::string path = "traces/" + o.name + ".trace.jsonl";

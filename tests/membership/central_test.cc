@@ -1,0 +1,191 @@
+// The central (coordinator-based heartbeat) backend: detection under member
+// crashes, the coordinator's single-point-of-failure behavior, resilience
+// under datagram loss, and the three-backend comparative campaign with
+// jobs-level byte parity.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/spec.h"
+#include "fault/fault.h"
+#include "harness/campaign.h"
+#include "harness/report.h"
+#include "harness/scenario.h"
+
+namespace lifeguard::membership {
+namespace {
+
+using harness::RunResult;
+using harness::Scenario;
+
+TEST(CentralBackend, DetectsBlockedMembersAndReAdmitsThem) {
+  const Scenario* s =
+      harness::ScenarioRegistry::builtin().find("central-crash-detect");
+  ASSERT_NE(s, nullptr);
+  const RunResult r = harness::run(*s);
+  // All three blocked members are declared failed by the coordinator.
+  // Latencies are measured from the post-quiesce timeline origin: the block
+  // lands at +10 s, and with heartbeat interval = probe_interval (1 s) and
+  // miss threshold 3 the verdict follows within a few heartbeats of +13 s.
+  ASSERT_EQ(r.first_detect.size(), 3u);
+  for (double d : r.first_detect) {
+    EXPECT_GT(d, 12.0) << "declared before the miss deadline could elapse";
+    EXPECT_LT(d, 16.0) << "detection took longer than the miss deadline";
+  }
+  // Each blocked member, unable to reach the coordinator, symmetrically
+  // declares IT failed — an originated kFailed about a healthy node. These
+  // are real FPs of the centralized design, reported by victims only.
+  EXPECT_EQ(r.fp_events, 3);
+  EXPECT_EQ(r.fp_healthy_events, 0);
+  // The generic invariant suite holds across failure and re-admission.
+  EXPECT_TRUE(r.checks.checked);
+  EXPECT_TRUE(r.checks.passed());
+}
+
+TEST(CentralBackend, CoordinatorCrashHasAClusterWideBlastRadius) {
+  const Scenario* s =
+      harness::ScenarioRegistry::builtin().find("central-coordinator-crash");
+  ASSERT_NE(s, nullptr);
+  const RunResult r = harness::run(*s);
+  // Members reach their miss threshold (4 × 1 s heartbeats past the +10 s
+  // block) and declare the coordinator failed: one detection latency for the
+  // single victim, measured from the post-quiesce timeline origin.
+  ASSERT_EQ(r.first_detect.size(), 1u);
+  EXPECT_GT(r.first_detect.front(), 13.0);
+  EXPECT_LT(r.first_detect.front(), 18.0);
+  // Meanwhile the isolated coordinator hears nobody and declares all 15
+  // members failed — the centralized design's blast radius, visible as FP
+  // events at the (victim) coordinator and nowhere else.
+  EXPECT_EQ(r.fp_events, 15);
+  EXPECT_EQ(r.fp_healthy_events, 0);
+  EXPECT_TRUE(r.checks.checked);
+  EXPECT_TRUE(r.checks.passed());
+}
+
+TEST(CentralBackend, InvariantsHoldUnderDatagramLoss) {
+  // 25% loss both ways on a third of the cluster: heartbeats, acks and view
+  // pushes all drop. Detection verdicts may flap — the invariant contract
+  // (legal transitions, convergence once the loss clears) must not.
+  Scenario s;
+  s.name = "central-lossy";
+  s.summary = "central under loss";
+  s.cluster_size = 12;
+  s.config = swim::Config::lifeguard();
+  s.membership = "central";
+  s.timeline.add(sec(5), sec(25), fault::Fault::link_loss(0.25, 0.25),
+                 fault::VictimSelector::nodes({1, 4, 7, 10}));
+  s.quiesce = sec(10);
+  s.run_length = sec(60);
+  s.checks = check::Spec::all();
+  s.seed = 21;
+  const RunResult r = harness::run(s);
+  EXPECT_TRUE(r.checks.checked);
+  EXPECT_TRUE(r.checks.passed())
+      << (r.checks.violations.empty() ? std::string()
+                                      : r.checks.violations.front().describe());
+  EXPECT_GT(r.msgs_sent, 0);
+}
+
+TEST(CentralBackend, RunsAreBitIdenticalForAScenarioSeedPair) {
+  const Scenario* s =
+      harness::ScenarioRegistry::builtin().find("central-crash-detect");
+  ASSERT_NE(s, nullptr);
+  const RunResult a = harness::run(*s);
+  const RunResult b = harness::run(*s);
+  EXPECT_EQ(a.msgs_sent, b.msgs_sent);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.fp_events, b.fp_events);
+  EXPECT_EQ(a.first_detect, b.first_detect);
+  EXPECT_EQ(a.full_dissem, b.full_dissem);
+}
+
+// ---------------------------------------------------------------------------
+// The three-backend comparative campaign
+
+harness::Campaign comparative_campaign(int jobs) {
+  harness::Campaign c;
+  c.name = "backend-compare";
+  Scenario base;
+  base.name = "backend-compare-base";
+  base.summary = "one fault schedule, three detectors";
+  base.cluster_size = 12;
+  base.config = swim::Config::lifeguard();
+  base.timeline.add(sec(5), sec(15), fault::Fault::block(),
+                    fault::VictimSelector::nodes({3, 8}));
+  base.quiesce = sec(10);
+  base.run_length = sec(40);
+  base.checks = check::Spec::all();
+  c.base = base;
+  c.axes = {harness::Axis::backend({"swim", "central", "static"})};
+  c.repetitions = 2;
+  c.jobs = jobs;
+  c.base_seed = 99;
+  return c;
+}
+
+TEST(ComparativeCampaign, BackendAxisPairsRunsAndSeparatesTheBackends) {
+  const harness::CampaignResult r = harness::run(comparative_campaign(2));
+  ASSERT_EQ(r.points.size(), 3u);
+  ASSERT_EQ(r.trials.size(), 6u);
+  EXPECT_EQ(r.axis_names, std::vector<std::string>{"membership"});
+
+  const harness::PointStats& swim = r.points[0];
+  const harness::PointStats& central = r.points[1];
+  const harness::PointStats& fixed = r.points[2];
+  EXPECT_EQ(swim.labels, std::vector<std::string>{"swim"});
+  EXPECT_EQ(central.labels, std::vector<std::string>{"central"});
+  EXPECT_EQ(fixed.labels, std::vector<std::string>{"static"});
+
+  // Axis::backend uses salt 0 for every point (paired runs): each backend
+  // faces the identical derived seed at each repetition.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(r.trials[0 * 2 + i].seed, r.trials[1 * 2 + i].seed);
+    EXPECT_EQ(r.trials[1 * 2 + i].seed, r.trials[2 * 2 + i].seed);
+  }
+
+  // Both detectors find the two blocked members in every trial...
+  EXPECT_EQ(swim.first_detect.count(), 4u);
+  EXPECT_EQ(central.first_detect.count(), 4u);
+  // ...the control detects nothing and sends nothing...
+  EXPECT_EQ(fixed.first_detect.count(), 0u);
+  EXPECT_DOUBLE_EQ(fixed.msgs.mean, 0.0);
+  EXPECT_DOUBLE_EQ(fixed.fp.mean, 0.0);
+  // ...and both real protocols carry nonzero message load.
+  EXPECT_GT(swim.msgs.mean, 0.0);
+  EXPECT_GT(central.msgs.mean, 0.0);
+  // Every checked trial is invariant-clean on every backend.
+  for (const harness::PointStats& p : r.points) {
+    EXPECT_EQ(p.checked_trials, 2);
+    EXPECT_EQ(p.violating_trials, 0) << p.labels.front();
+  }
+}
+
+TEST(ComparativeCampaign, ArtifactsAreByteIdenticalAcrossJobsLevels) {
+  auto execute = [](int jobs, std::string& jsonl_text, std::string& csv_text) {
+    std::ostringstream jsonl_out, csv_out;
+    harness::JsonlReporter jsonl(jsonl_out);
+    harness::CsvReporter csv(csv_out);
+    const harness::CampaignResult r =
+        harness::run(comparative_campaign(jobs), {&jsonl, &csv});
+    jsonl_text = jsonl_out.str();
+    csv_text = csv_out.str();
+    return r;
+  };
+  std::string jsonl1, csv1, jsonl8, csv8;
+  const harness::CampaignResult seq = execute(1, jsonl1, csv1);
+  const harness::CampaignResult par = execute(8, jsonl8, csv8);
+  EXPECT_EQ(jsonl1, jsonl8);
+  EXPECT_EQ(csv1, csv8);
+  ASSERT_EQ(seq.trials.size(), par.trials.size());
+  for (std::size_t i = 0; i < seq.trials.size(); ++i) {
+    EXPECT_EQ(seq.trials[i].seed, par.trials[i].seed);
+    EXPECT_EQ(seq.trials[i].result.msgs_sent, par.trials[i].result.msgs_sent);
+    EXPECT_EQ(seq.trials[i].result.first_detect,
+              par.trials[i].result.first_detect);
+  }
+}
+
+}  // namespace
+}  // namespace lifeguard::membership

@@ -41,6 +41,27 @@ TEST(Catalog, IdsRoundTripThroughNamesAndBack) {
   EXPECT_FALSE(metric_from_name("no.such.metric").has_value());
 }
 
+TEST(Catalog, DetectionMetricIdsAndNamesArePinned) {
+  // Append-only contract: these ids are wire/artifact identifiers. A failure
+  // here means a recorded trace's samples silently changed meaning.
+  EXPECT_EQ(kMetricCount, 19);
+  EXPECT_EQ(static_cast<int>(Metric::kHeartbeatSentTotal), 16);
+  EXPECT_EQ(static_cast<int>(Metric::kHeartbeatMissedTotal), 17);
+  EXPECT_EQ(static_cast<int>(Metric::kCoordinatorRttMeanUs), 18);
+  EXPECT_STREQ(metric_name(Metric::kHeartbeatSentTotal),
+               "detect.heartbeat.sent.total");
+  EXPECT_STREQ(metric_name(Metric::kHeartbeatMissedTotal),
+               "detect.heartbeat.missed.total");
+  EXPECT_STREQ(metric_name(Metric::kCoordinatorRttMeanUs),
+               "detect.coordinator.rtt.mean_us");
+  EXPECT_EQ(metric_from_name("detect.heartbeat.sent.total"),
+            Metric::kHeartbeatSentTotal);
+  EXPECT_EQ(metric_from_name("detect.heartbeat.missed.total"),
+            Metric::kHeartbeatMissedTotal);
+  EXPECT_EQ(metric_from_name("detect.coordinator.rtt.mean_us"),
+            Metric::kCoordinatorRttMeanUs);
+}
+
 TEST(Catalog, NamesAreUniqueAndPrometheusSafe) {
   std::vector<std::string> names;
   for (Metric m : all_metrics()) {
@@ -167,25 +188,49 @@ harness::Scenario small_scenario() {
   return s;
 }
 
-TEST(Sampler, EmitsTheFullCatalogEveryIntervalInIdOrder) {
+// Swim runs never emit the backend-generic detect.* tail (ids 16..18) — a
+// swim tick is exactly the first 16 catalog ids, which keeps swim series
+// byte-identical to recordings made before the membership seam existed.
+constexpr int kSwimMetricsPerTick = 16;
+
+TEST(Sampler, EmitsTheSwimCatalogEveryIntervalInIdOrder) {
   harness::Scenario s = small_scenario();
   s.metrics_interval = msec(500);
   const harness::RunResult r = harness::run(s);
   ASSERT_FALSE(r.series.empty());
-  ASSERT_EQ(r.series.size() % kMetricCount, 0u);
+  ASSERT_EQ(r.series.size() % kSwimMetricsPerTick, 0u);
   for (std::size_t i = 0; i < r.series.size(); ++i) {
     const Sample& sample = r.series[i];
     EXPECT_EQ(static_cast<int>(sample.metric),
-              static_cast<int>(i % kMetricCount));
+              static_cast<int>(i % kSwimMetricsPerTick));
     EXPECT_EQ(sample.node, -1);
     // First tick fires one interval after start; ticks stay on the grid.
     EXPECT_EQ(sample.at.us % 500000, 0);
     EXPECT_GT(sample.at.us, 0);
   }
   // A healthy steady-state cluster converges to everyone seeing everyone.
-  const Sample& last_active = r.series[r.series.size() - kMetricCount];
+  const Sample& last_active = r.series[r.series.size() - kSwimMetricsPerTick];
   EXPECT_EQ(last_active.metric, Metric::kMembersActive);
   EXPECT_DOUBLE_EQ(last_active.value, 12.0);
+}
+
+TEST(Sampler, NonSwimBackendsEmitTheDetectionTail) {
+  harness::Scenario s = small_scenario();
+  s.membership = "central";
+  s.metrics_interval = msec(500);
+  const harness::RunResult r = harness::run(s);
+  ASSERT_FALSE(r.series.empty());
+  ASSERT_EQ(r.series.size() % kMetricCount, 0u);
+  for (std::size_t i = 0; i < r.series.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(r.series[i].metric),
+              static_cast<int>(i % kMetricCount));
+  }
+  // Members heartbeat the coordinator, so the cumulative counter grows and
+  // the RTT histogram sees acks on the loss-free steady-state fabric.
+  const Sample& last_hb = r.series[r.series.size() - kMetricCount +
+                                   static_cast<int>(Metric::kHeartbeatSentTotal)];
+  EXPECT_EQ(last_hb.metric, Metric::kHeartbeatSentTotal);
+  EXPECT_GT(last_hb.value, 0.0);
 }
 
 TEST(Sampler, MetricsDoNotPerturbTheRun) {
