@@ -92,20 +92,58 @@
 //       artifacts (JSON-Lines / CSV) that are byte-identical at every --jobs
 //       level.
 //
+//   ./examples/scenario_runner --scenario-file FILE [flags]
+//       Run a scenario loaded from a versioned JSON file (the committed
+//       scenarios/*.json format; see docs/scenario-files.md). A first-class
+//       base like --scenario: every override flag, both backends, --check,
+//       --trace and --campaign compose with it. Malformed files are
+//       rejected with a message naming the offending key/value.
+//
+//   ./examples/scenario_runner --export-scenarios DIR
+//       Write every registry scenario to DIR/<name>.json (the committed
+//       scenarios/ tree; CI re-exports and fails when it is stale).
+//
+//   ./examples/scenario_runner --validate-scenarios PATH
+//       Strictly validate one scenario file, or every *.json under a
+//       directory (scenarios/baselines.json validates as a baselines
+//       document). Exits 2 listing every defect.
+//
+//   ./examples/scenario_runner --record-baselines FILE [--include-big]
+//                              [--jobs N]
+//       Run the registry (non-big tier by default) and record per-scenario
+//       metric bands to FILE — the scenarios/baselines.json artifact; see
+//       tools/record-baselines.sh and docs/scenario-files.md for the band
+//       policy.
+//
+//   ./examples/scenario_runner --gate FILE [run flags]
+//       Run the composed scenario (simulator, single-run modes only) and
+//       gate its metrics against the baselines in FILE: any out-of-band
+//       metric prints a per-metric diff and exits 6.
+//
+//   ./examples/scenario_runner --gate-registry FILE [--include-big]
+//                              [--jobs N]
+//       Gate the whole registry tier against FILE in one process — the CI
+//       behavioral-regression job. Prints one verdict per scenario and the
+//       per-metric diff of every failure; exits 6 when any scenario lands
+//       out of band.
+//
 // Prints the paper's metrics for the single run: FP, FP-, detection and
 // dissemination latencies, message load. Malformed or out-of-range flag
 // values are rejected with a message naming the flag and the accepted range.
 //
 // Exit codes: 0 success, 2 usage / malformed input, 3 invariant violations,
-// 4 replay divergence, 5 live-run watchdog timeout.
+// 4 replay divergence, 5 live-run watchdog timeout, 6 baseline gate
+// failure.
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <optional>
@@ -117,8 +155,10 @@
 #include "check/trace.h"
 #include "fault/fault.h"
 #include "harness/campaign.h"
+#include "harness/gate.h"
 #include "harness/report.h"
 #include "harness/scenario.h"
+#include "harness/scenariofile.h"
 #include "harness/stats.h"
 #include "harness/table.h"
 #include "live/process.h"
@@ -235,7 +275,12 @@ void list_catalog_markdown() {
       "`scenario_runner --scenario NAME` (flags override fields; see\n"
       "`scenario_runner --list` for the live view and README.md for the\n"
       "workflow). The fault-timeline column uses the `--fault` grammar\n"
-      "(`KIND@AT:DUR,key=val`; see `src/fault/fault.h`).\n"
+      "(`KIND@AT:DUR,key=val`; see `src/fault/fault.h`). Every entry is\n"
+      "also committed as versioned JSON under `scenarios/` with baseline\n"
+      "metric bands in `scenarios/baselines.json` — run one with\n"
+      "`scenario_runner --scenario-file scenarios/NAME.json`, and see\n"
+      "[scenario-files.md](scenario-files.md) for the file format and the\n"
+      "baseline-gate policy.\n"
       "\n"
       "| Scenario | Paper | Nodes | Length | Membership | Default checks | "
       "Fault timeline |\n"
@@ -422,6 +467,165 @@ int run_replay(const std::string& path,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Scenario files & baseline gates (docs/scenario-files.md)
+
+/// The gated registry tier: everything below the big-* threshold, plus the
+/// big-* entries when asked (they cost minutes of wall time each).
+std::vector<Scenario> registry_tier(bool include_big) {
+  std::vector<Scenario> out;
+  for (const Scenario& s : ScenarioRegistry::builtin().all()) {
+    if (include_big || s.cluster_size < 1000) out.push_back(s);
+  }
+  return out;
+}
+
+/// Run every scenario on a worker pool (the campaign-trial pattern: runs
+/// are independent and deterministic, so results are order-free).
+std::vector<RunResult> run_registry(const std::vector<Scenario>& all,
+                                    int jobs) {
+  std::vector<RunResult> results(all.size());
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers = std::min<std::size_t>(
+      jobs > 0 ? static_cast<std::size_t>(jobs)
+               : std::max(1u, std::thread::hardware_concurrency()),
+      std::max<std::size_t>(1, all.size()));
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= all.size()) return;
+        results[i] = run(all[i]);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+int run_export_scenarios(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const auto& all = ScenarioRegistry::builtin().all();
+  for (const Scenario& s : all) {
+    std::string error;
+    if (!ScenarioFile::save(s, dir + "/" + ScenarioFile::filename(s),
+                            error)) {
+      std::fprintf(stderr, "scenario_runner: --export-scenarios: %s\n",
+                   error.c_str());
+      return 2;
+    }
+  }
+  std::printf("exported %zu scenario files to %s/\n", all.size(),
+              dir.c_str());
+  return 0;
+}
+
+/// One file's strict validation, dispatched on the canonical filename:
+/// baselines.json is the band document, everything else a scenario.
+bool validate_one(const std::filesystem::path& path, std::string& error) {
+  if (path.filename() == "baselines.json") {
+    return load_baselines_file(path.string(), error).has_value();
+  }
+  return ScenarioFile::load(path.string(), error).has_value();
+}
+
+int run_validate_scenarios(const std::string& target) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  if (std::filesystem::is_directory(target, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(target)) {
+      if (entry.path().extension() == ".json") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr,
+                   "scenario_runner: --validate-scenarios: no *.json files "
+                   "under %s\n",
+                   target.c_str());
+      return 2;
+    }
+  } else {
+    files.push_back(target);
+  }
+  int defects = 0;
+  for (const auto& path : files) {
+    std::string error;
+    if (!validate_one(path, error)) {
+      std::fprintf(stderr, "scenario_runner: %s\n", error.c_str());
+      ++defects;
+    }
+  }
+  if (defects > 0) {
+    std::fprintf(stderr, "%d of %zu file(s) failed validation\n", defects,
+                 files.size());
+    return 2;
+  }
+  std::printf("%zu file(s) valid\n", files.size());
+  return 0;
+}
+
+int run_record_baselines(const std::string& file, bool include_big,
+                         int jobs) {
+  const std::vector<Scenario> all = registry_tier(include_big);
+  std::printf("recording baselines for %zu scenario(s)...\n", all.size());
+  const std::vector<RunResult> results = run_registry(all, jobs);
+  BaselineSet set;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    set.entries.push_back(record_baseline(all[i], results[i]));
+  }
+  std::string error;
+  if (!save_baselines_file(set, file, error)) {
+    std::fprintf(stderr, "scenario_runner: --record-baselines: %s\n",
+                 error.c_str());
+    return 2;
+  }
+  std::printf("recorded %zu baseline(s) to %s\n", set.entries.size(),
+              file.c_str());
+  return 0;
+}
+
+int run_gate_registry(const std::string& file, bool include_big, int jobs) {
+  std::string error;
+  const auto baselines = load_baselines_file(file, error);
+  if (!baselines) {
+    std::fprintf(stderr, "scenario_runner: --gate-registry: %s\n",
+                 error.c_str());
+    return 2;
+  }
+  const std::vector<Scenario> all = registry_tier(include_big);
+  std::printf("gating %zu scenario(s) against %s...\n", all.size(),
+              file.c_str());
+  const std::vector<RunResult> results = run_registry(all, jobs);
+  int failures = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const GateReport report = gate_run(all[i], results[i], *baselines);
+    std::printf("%s\n", report.describe().c_str());
+    if (!report.passed) ++failures;
+  }
+  // A baseline whose scenario left the gated tier is stale data — catch
+  // renames and deletions, not just metric drift.
+  for (const ScenarioBaseline& e : baselines->entries) {
+    const bool known = std::any_of(
+        all.begin(), all.end(),
+        [&](const Scenario& s) { return s.name == e.scenario; });
+    if (!known) {
+      std::printf("gate FAIL %s: baseline has no matching scenario in the "
+                  "gated tier (re-record with tools/record-baselines.sh)\n",
+                  e.scenario.c_str());
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d of %zu gate(s) failed\n", failures,
+                 all.size());
+    return 6;
+  }
+  std::printf("all %zu gate(s) passed\n", all.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -467,6 +671,9 @@ int main(int argc, char** argv) {
   int reps = 5;
   int jobs = 0;  // 0 = one worker per hardware thread
   std::optional<std::string> json_path, csv_path, trace_path, replay_path;
+  std::optional<std::string> export_dir, validate_path, record_path;
+  std::optional<std::string> gate_path, gate_registry_path;
+  bool include_big = false;
   std::optional<std::string> metrics_out;
   std::optional<Duration> metrics_interval;
   bool spans = false;
@@ -494,6 +701,23 @@ int main(int argc, char** argv) {
                     "' — run with --list to see the catalog");
       }
       s = *found;
+    } else if (arg == "--scenario-file") {
+      std::string error;
+      const auto loaded = ScenarioFile::load(next(), error);
+      if (!loaded) usage_error("--scenario-file: " + error);
+      s = *loaded;
+    } else if (arg == "--export-scenarios") {
+      export_dir = next();
+    } else if (arg == "--validate-scenarios") {
+      validate_path = next();
+    } else if (arg == "--record-baselines") {
+      record_path = next();
+    } else if (arg == "--gate") {
+      gate_path = next();
+    } else if (arg == "--gate-registry") {
+      gate_registry_path = next();
+    } else if (arg == "--include-big") {
+      include_big = true;
     } else if (arg == "--nodes") {
       nodes = static_cast<int>(parse_int(arg, next(), 2, 4096));
     } else if (arg == "--config") {
@@ -559,6 +783,32 @@ int main(int argc, char** argv) {
     } else {
       usage_error("unknown option " + arg);
     }
+  }
+
+  // The registry-wide subcommands don't run the composed scenario; they are
+  // dispatched here, one per invocation.
+  {
+    const int subcommands = (export_dir ? 1 : 0) + (validate_path ? 1 : 0) +
+                            (record_path ? 1 : 0) +
+                            (gate_registry_path ? 1 : 0);
+    if (subcommands > 1) {
+      usage_error("--export-scenarios, --validate-scenarios, "
+                  "--record-baselines and --gate-registry are one-per-"
+                  "invocation subcommands");
+    }
+    if (export_dir) return run_export_scenarios(*export_dir);
+    if (validate_path) return run_validate_scenarios(*validate_path);
+    if (record_path) return run_record_baselines(*record_path, include_big,
+                                                 jobs);
+    if (gate_registry_path) {
+      return run_gate_registry(*gate_registry_path, include_big, jobs);
+    }
+  }
+  if (gate_path && (campaign_mode || replay_path ||
+                    backend != harness::Backend::kSim)) {
+    usage_error("--gate checks one simulator run against its baseline — "
+                "it cannot combine with --campaign, --replay or "
+                "--backend live");
   }
 
   if (replay_path) {
@@ -776,9 +1026,27 @@ int main(int argc, char** argv) {
                     save_to.c_str(), recorder->trace().events.size(),
                     save_to.c_str());
       }
+      bool gate_failed = false;
+      if (gate_path) {
+        std::string error;
+        const auto baselines = load_baselines_file(*gate_path, error);
+        if (!baselines) {
+          std::fprintf(stderr, "scenario_runner: --gate: %s\n",
+                       error.c_str());
+          finished.store(true);
+          return 2;
+        }
+        const GateReport gr = gate_run(s, r, *baselines);
+        std::printf("\n%s\n", gr.describe().c_str());
+        gate_failed = !gr.passed;
+      }
       if (r.checks.checked && !r.checks.passed()) {
         finished.store(true);
         return 3;
+      }
+      if (gate_failed) {
+        finished.store(true);
+        return 6;
       }
     }
   } catch (const live::TimeoutError& e) {

@@ -1,15 +1,13 @@
 #include "check/trace.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <limits>
-#include <map>
 #include <ostream>
 #include <sstream>
 #include <utility>
 
+#include "check/flatjson.h"
 #include "harness/report.h"
 
 namespace lifeguard::check {
@@ -255,269 +253,22 @@ bool save_trace_file(const Trace& t, const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
-// Load (purpose-built flat-JSON line scanner)
+// Load (shared flat-JSON scanner — check/flatjson.h)
 
 namespace {
 
-struct JsonValue {
-  enum class Kind { kString, kNumber, kBool, kArray };
-  Kind kind = Kind::kString;
-  std::string text;  ///< unescaped string, or the raw number token
-  bool boolean = false;
-  std::vector<std::string> array;  ///< string elements
-};
+using flatjson::Value;
+using flatjson::get_dbl;
+using flatjson::get_i64;
+using flatjson::get_str;
+using flatjson::get_string_array;
+using flatjson::get_u64;
 
-using JsonObject = std::map<std::string, JsonValue>;
-
-void skip_ws(std::string_view s, std::size_t& i) {
-  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+const Value* field(const Value& o, const std::string& key) {
+  return o.find(key);
 }
 
-bool scan_string(std::string_view s, std::size_t& i, std::string& out,
-                 std::string& error) {
-  if (i >= s.size() || s[i] != '"') {
-    error = "expected '\"'";
-    return false;
-  }
-  ++i;
-  out.clear();
-  while (i < s.size() && s[i] != '"') {
-    char c = s[i++];
-    if (c == '\\') {
-      if (i >= s.size()) {
-        error = "dangling escape";
-        return false;
-      }
-      const char esc = s[i++];
-      switch (esc) {
-        case '"': c = '"'; break;
-        case '\\': c = '\\'; break;
-        case '/': c = '/'; break;
-        case 'n': c = '\n'; break;
-        case 'r': c = '\r'; break;
-        case 't': c = '\t'; break;
-        case 'u': {
-          if (i + 4 > s.size()) {
-            error = "truncated \\u escape";
-            return false;
-          }
-          unsigned code = 0;
-          for (int d = 0; d < 4; ++d) {
-            const char hc = s[i++];
-            code <<= 4;
-            if (hc >= '0' && hc <= '9') code |= static_cast<unsigned>(hc - '0');
-            else if (hc >= 'a' && hc <= 'f') code |= static_cast<unsigned>(hc - 'a' + 10);
-            else if (hc >= 'A' && hc <= 'F') code |= static_cast<unsigned>(hc - 'A' + 10);
-            else {
-              error = "bad \\u escape";
-              return false;
-            }
-          }
-          // Traces only escape control characters; anything else is kept
-          // as-is only when it fits one byte.
-          if (code > 0xFF) {
-            error = "unsupported \\u escape above 0xFF";
-            return false;
-          }
-          c = static_cast<char>(code);
-          break;
-        }
-        default:
-          error = "unknown escape";
-          return false;
-      }
-    }
-    out += c;
-  }
-  if (i >= s.size()) {
-    error = "unterminated string";
-    return false;
-  }
-  ++i;  // closing quote
-  return true;
-}
-
-bool scan_value(std::string_view s, std::size_t& i, JsonValue& out,
-                std::string& error) {
-  skip_ws(s, i);
-  if (i >= s.size()) {
-    error = "expected a value";
-    return false;
-  }
-  if (s[i] == '"') {
-    out.kind = JsonValue::Kind::kString;
-    return scan_string(s, i, out.text, error);
-  }
-  if (s[i] == 't' || s[i] == 'f') {
-    const bool is_true = s.substr(i, 4) == "true";
-    const bool is_false = s.substr(i, 5) == "false";
-    if (!is_true && !is_false) {
-      error = "bad literal";
-      return false;
-    }
-    out.kind = JsonValue::Kind::kBool;
-    out.boolean = is_true;
-    i += is_true ? 4 : 5;
-    return true;
-  }
-  if (s[i] == '[') {
-    ++i;
-    out.kind = JsonValue::Kind::kArray;
-    out.array.clear();
-    skip_ws(s, i);
-    if (i < s.size() && s[i] == ']') {
-      ++i;
-      return true;
-    }
-    while (true) {
-      std::string element;
-      skip_ws(s, i);
-      if (!scan_string(s, i, element, error)) return false;
-      out.array.push_back(std::move(element));
-      skip_ws(s, i);
-      if (i < s.size() && s[i] == ',') {
-        ++i;
-        continue;
-      }
-      if (i < s.size() && s[i] == ']') {
-        ++i;
-        return true;
-      }
-      error = "expected ',' or ']' in array";
-      return false;
-    }
-  }
-  // number
-  const std::size_t start = i;
-  while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
-                          s[i] == '-' || s[i] == '+' || s[i] == '.' ||
-                          s[i] == 'e' || s[i] == 'E')) {
-    ++i;
-  }
-  if (i == start) {
-    error = "expected a value";
-    return false;
-  }
-  out.kind = JsonValue::Kind::kNumber;
-  out.text = std::string(s.substr(start, i - start));
-  return true;
-}
-
-bool parse_flat_object(const std::string& line, JsonObject& out,
-                       std::string& error) {
-  out.clear();
-  std::string_view s = line;
-  std::size_t i = 0;
-  skip_ws(s, i);
-  if (i >= s.size() || s[i] != '{') {
-    error = "expected '{'";
-    return false;
-  }
-  ++i;
-  skip_ws(s, i);
-  if (i < s.size() && s[i] == '}') return true;
-  while (true) {
-    std::string key;
-    skip_ws(s, i);
-    if (!scan_string(s, i, key, error)) return false;
-    skip_ws(s, i);
-    if (i >= s.size() || s[i] != ':') {
-      error = "expected ':' after key '" + key + "'";
-      return false;
-    }
-    ++i;
-    JsonValue v;
-    if (!scan_value(s, i, v, error)) return false;
-    out.emplace(std::move(key), std::move(v));
-    skip_ws(s, i);
-    if (i < s.size() && s[i] == ',') {
-      ++i;
-      continue;
-    }
-    if (i < s.size() && s[i] == '}') return true;
-    error = "expected ',' or '}'";
-    return false;
-  }
-}
-
-// Typed field accessors; `required` fields set `error` when missing.
-const JsonValue* field(const JsonObject& o, const std::string& key) {
-  const auto it = o.find(key);
-  return it == o.end() ? nullptr : &it->second;
-}
-
-bool get_i64(const JsonObject& o, const std::string& key, std::int64_t& out,
-             std::string& error, bool required = true) {
-  const JsonValue* v = field(o, key);
-  if (v == nullptr) {
-    if (required) error = "missing field '" + key + "'";
-    return !required;
-  }
-  // Numbers arrive as raw tokens; seeds as strings — accept both.
-  errno = 0;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(v->text.c_str(), &end, 10);
-  if (end != v->text.c_str() + v->text.size() || errno == ERANGE) {
-    error = "field '" + key + "' is not an integer";
-    return false;
-  }
-  out = parsed;
-  return true;
-}
-
-bool get_u64(const JsonObject& o, const std::string& key, std::uint64_t& out,
-             std::string& error) {
-  const JsonValue* v = field(o, key);
-  if (v == nullptr) {
-    error = "missing field '" + key + "'";
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v->text.c_str(), &end, 10);
-  if (end != v->text.c_str() + v->text.size() || errno == ERANGE) {
-    error = "field '" + key + "' is not an unsigned integer";
-    return false;
-  }
-  out = parsed;
-  return true;
-}
-
-bool get_dbl(const JsonObject& o, const std::string& key, double& out,
-             std::string& error) {
-  const JsonValue* v = field(o, key);
-  if (v == nullptr) {
-    error = "missing field '" + key + "'";
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const double parsed = std::strtod(v->text.c_str(), &end);
-  if (end != v->text.c_str() + v->text.size() || errno == ERANGE) {
-    error = "field '" + key + "' is not a number";
-    return false;
-  }
-  out = parsed;
-  return true;
-}
-
-bool get_str(const JsonObject& o, const std::string& key, std::string& out,
-             std::string& error, bool required = true) {
-  const JsonValue* v = field(o, key);
-  if (v == nullptr) {
-    if (!required) return true;  // optional and absent: leave the default
-    error = "missing string field '" + key + "'";
-    return false;
-  }
-  if (v->kind != JsonValue::Kind::kString) {
-    error = "field '" + key + "' is not a string";
-    return false;
-  }
-  out = v->text;
-  return true;
-}
-
-bool parse_header(const JsonObject& o, TraceHeader& h, std::string& error) {
+bool parse_header(const Value& o, TraceHeader& h, std::string& error) {
   std::int64_t i64 = 0;
   if (!get_str(o, "scenario", h.scenario, error)) return false;
   if (!get_u64(o, "seed", h.seed, error)) return false;
@@ -536,17 +287,12 @@ bool parse_header(const JsonObject& o, TraceHeader& h, std::string& error) {
   if (!get_i64(o, "proc_us", h.msg_proc_cost.us, error)) return false;
   if (!get_i64(o, "rbuf", i64, error)) return false;
   h.recv_buffer_bytes = static_cast<std::size_t>(i64);
-  const JsonValue* tl = field(o, "timeline");
-  if (tl == nullptr || tl->kind != JsonValue::Kind::kArray) {
-    error = "missing array field 'timeline'";
-    return false;
-  }
-  h.timeline = tl->array;
-  const JsonValue* checked = field(o, "checked");
+  if (!get_string_array(o, "timeline", h.timeline, error)) return false;
+  const Value* checked = field(o, "checked");
   h.checks.enabled = checked != nullptr && checked->boolean;
-  if (const JsonValue* inv = field(o, "invariants");
-      inv != nullptr && inv->kind == JsonValue::Kind::kArray) {
-    h.checks.invariants = inv->array;
+  if (!get_string_array(o, "invariants", h.checks.invariants, error,
+                        /*required=*/false)) {
+    return false;
   }
   if (!get_dbl(o, "slack", h.checks.timeout_slack, error)) return false;
   if (!get_i64(o, "settle_us", h.checks.convergence_settle.us, error)) {
@@ -560,7 +306,7 @@ bool parse_header(const JsonObject& o, TraceHeader& h, std::string& error) {
                /*required=*/false)) {
     return false;
   }
-  if (const JsonValue* spans = field(o, "spans")) {
+  if (const Value* spans = field(o, "spans")) {
     h.probe_spans = spans->boolean;
   }
   // Absent in pre-backend and swim traces; defaults to "swim".
@@ -570,7 +316,7 @@ bool parse_header(const JsonObject& o, TraceHeader& h, std::string& error) {
   return true;
 }
 
-bool parse_event(const JsonObject& o, TraceEvent& e, std::string& error) {
+bool parse_event(const Value& o, TraceEvent& e, std::string& error) {
   std::string kind_name;
   if (!get_i64(o, "t", e.at.us, error)) return false;
   if (!get_str(o, "k", kind_name, error)) return false;
@@ -605,8 +351,8 @@ bool parse_event(const JsonObject& o, TraceEvent& e, std::string& error) {
 
 std::optional<TraceEvent> event_from_line(std::string_view line,
                                           std::string& error) {
-  JsonObject o;
-  if (!parse_flat_object(std::string(line), o, error)) return std::nullopt;
+  Value o;
+  if (!flatjson::parse(line, o, error)) return std::nullopt;
   TraceEvent e;
   if (!parse_event(o, e, error)) return std::nullopt;
   return e;
@@ -621,13 +367,13 @@ std::optional<Trace> load_trace(std::istream& in, std::string& error) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    JsonObject o;
+    Value o;
     std::string scan_error;
-    if (!parse_flat_object(line, o, scan_error)) {
+    if (!flatjson::parse(line, o, scan_error)) {
       error = "line " + std::to_string(line_no) + ": " + scan_error;
       return std::nullopt;
     }
-    if (const JsonValue* type = field(o, "type")) {
+    if (const Value* type = field(o, "type")) {
       if (type->text == "trace") {
         if (have_header) {
           error = "line " + std::to_string(line_no) + ": duplicate header";

@@ -1,0 +1,116 @@
+// Baseline metric gates — scenarios/baselines.json and the --gate verdict.
+//
+// A ScenarioBaseline pins one (scenario, seed) run's behavioral envelope:
+// per-metric [lo, hi] bands over the paper's §V metrics (false-positive
+// counts, detection/dissemination latency, message and byte load) plus the
+// invariant-violation count. record_baseline() derives the bands from one
+// run with a fixed policy — counts that must not move (detections,
+// violations) get exact bands; noisy counts (FPs) get ±25% + 2 absolute;
+// load gets ±10%; latency seconds get ±25% + 0.25 s — so an intentional
+// behavior change re-records (tools/record-baselines.sh), while a drive-by
+// regression that shifts detection latency or FP counts without tripping an
+// invariant now fails CI with a per-metric diff.
+//
+// The committed artifact (scenarios/baselines.json) is deterministic data:
+// bands derive only from the (scenario, seed) run, no timestamps or host
+// fingerprints, so re-recording on an unchanged tree is byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace lifeguard::harness {
+
+/// One gated metric's allowed range (inclusive on both ends).
+struct MetricBand {
+  std::string metric;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool operator==(const MetricBand&) const = default;
+};
+
+/// One scenario's recorded envelope. Bands gate the recorded seed only —
+/// a different seed is a different run, reported as a gate failure rather
+/// than silently compared against the wrong envelope.
+struct ScenarioBaseline {
+  std::string scenario;
+  std::uint64_t seed = 1;
+  std::vector<MetricBand> bands;
+
+  const MetricBand* find(const std::string& metric) const;
+
+  bool operator==(const ScenarioBaseline&) const = default;
+};
+
+/// The scenarios/baselines.json document: one entry per gated scenario.
+struct BaselineSet {
+  std::vector<ScenarioBaseline> entries;
+
+  const ScenarioBaseline* find(const std::string& scenario) const;
+};
+
+/// One observed metric value. Latency metrics are emitted only when the run
+/// produced samples (a healthy-baseline scenario has no detections), so a
+/// baseline recorded with them present also asserts they stay present.
+struct GateMetric {
+  std::string name;
+  double value = 0.0;
+};
+
+/// The §V metric vector of one finished run, in stable order: fp_events,
+/// fp_healthy_events, detections, detect_p50_s / detect_max_s /
+/// dissem_p50_s (when sampled), msgs_sent, bytes_sent, and violations
+/// (when the scenario checks invariants).
+std::vector<GateMetric> gate_metrics(const Scenario& s, const RunResult& r);
+
+/// Derive a baseline from one run under the fixed band policy above.
+ScenarioBaseline record_baseline(const Scenario& s, const RunResult& r);
+
+/// One out-of-band metric in a gate verdict.
+struct GateDiff {
+  std::string metric;
+  double value = 0.0;  ///< NaN when the metric is missing from the run
+  double lo = 0.0;
+  double hi = 0.0;
+  bool missing = false;
+
+  /// "fp_events = 12 outside [0, 6.5]" / "detect_p50_s missing from run
+  /// (expected within [1.1, 1.9])".
+  std::string describe() const;
+};
+
+/// Gate verdict for one run: passed, or an `error` (no baseline entry /
+/// seed mismatch) plus the per-metric `diffs`.
+struct GateReport {
+  std::string scenario;
+  bool passed = true;
+  std::string error;  ///< non-metric failure reason; empty otherwise
+  std::vector<GateDiff> diffs;
+
+  /// Multi-line human verdict ("gate OK ..." / "gate FAIL ..." with one
+  /// indented line per out-of-band metric).
+  std::string describe() const;
+};
+
+GateReport gate_run(const Scenario& s, const RunResult& r,
+                    const BaselineSet& baselines);
+
+/// Pretty-printed scenarios/baselines.json document.
+std::string baselines_to_json(const BaselineSet& set);
+/// Strict parse — unknown keys and malformed values fail with a message
+/// naming the offending key (the document is machine-written; anything
+/// unexpected is a hand-edit gone wrong).
+std::optional<BaselineSet> baselines_from_json(const std::string& text,
+                                               std::string& error);
+
+bool save_baselines_file(const BaselineSet& set, const std::string& path,
+                         std::string& error);
+std::optional<BaselineSet> load_baselines_file(const std::string& path,
+                                               std::string& error);
+
+}  // namespace lifeguard::harness

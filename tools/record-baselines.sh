@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Re-record the committed scenario files and their baseline metric bands.
+#
+#   tools/record-baselines.sh [BUILD_DIR] [--check]
+#
+# Re-exports scenarios/*.json from ScenarioRegistry::builtin() and re-runs
+# the non-big registry tier to re-derive scenarios/baselines.json (band
+# policy in docs/scenario-files.md). Run it after an intentional behavior
+# change, review the diff, and commit it alongside the change. Both
+# artifacts are deterministic — on an unchanged tree this script is a
+# no-op, which is exactly what --check (the CI freshness gate) asserts.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+runner="$build_dir/scenario_runner"
+check_mode=0
+if [[ "${2:-}" == "--check" || "${1:-}" == "--check" ]]; then
+  check_mode=1
+  [[ "${1:-}" == "--check" ]] && runner="$repo_root/build/scenario_runner"
+fi
+
+if [[ ! -x "$runner" ]]; then
+  echo "error: $runner not built (cmake --build $build_dir --target scenario_runner)" >&2
+  exit 2
+fi
+
+target="$repo_root/scenarios"
+out="$target"
+if [[ "$check_mode" == 1 ]]; then
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+fi
+
+"$runner" --export-scenarios "$out"
+"$runner" --record-baselines "$out/baselines.json"
+"$runner" --validate-scenarios "$out"
+
+if [[ "$check_mode" == 1 ]]; then
+  if ! diff -ur "$target" "$out"; then
+    echo "" >&2
+    echo "scenarios/ is stale — regenerate with tools/record-baselines.sh" >&2
+    exit 1
+  fi
+  echo "scenarios/ is up to date"
+else
+  echo "wrote $target/"
+fi
