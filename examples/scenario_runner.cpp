@@ -108,6 +108,21 @@
 //       directory (scenarios/baselines.json validates as a baselines
 //       document). Exits 2 listing every defect.
 //
+//   ./examples/scenario_runner --fuzz N [--fuzz-seed S] [--fuzz-out DIR]
+//                              [--fuzz-jobs K] [flags]
+//       Coverage-guided fault-timeline fuzzing (src/fuzz): N trials of
+//       mutated fault timelines run against the composed base scenario
+//       (cluster shape, config, membership and check tolerances compose
+//       as usual; the anomaly/timeline slots are replaced per candidate
+//       and the invariant suite is force-enabled). Every violation is
+//       auto-shrunk (check::shrink) and written to DIR as a committed-
+//       format reproducer scenario plus a baselines.json entry; the
+//       corpus of coverage-extending timelines and a coverage.json report
+//       land there too. The whole run — corpus, findings, every emitted
+//       byte — is bit-reproducible for a given --fuzz-seed at every
+//       --fuzz-jobs level. Exits 3 when the budget found violations.
+//       See docs/fuzzing.md for the coverage signal and triage workflow.
+//
 //   ./examples/scenario_runner --record-baselines FILE [--include-big]
 //                              [--jobs N]
 //       Run the registry (non-big tier by default) and record per-scenario
@@ -154,6 +169,7 @@
 #include "check/spec.h"
 #include "check/trace.h"
 #include "fault/fault.h"
+#include "fuzz/engine.h"
 #include "harness/campaign.h"
 #include "harness/gate.h"
 #include "harness/report.h"
@@ -523,10 +539,14 @@ int run_export_scenarios(const std::string& dir) {
 }
 
 /// One file's strict validation, dispatched on the canonical filename:
-/// baselines.json is the band document, everything else a scenario.
+/// baselines.json is the band document, coverage.json the fuzz coverage
+/// report, everything else a scenario.
 bool validate_one(const std::filesystem::path& path, std::string& error) {
   if (path.filename() == "baselines.json") {
     return load_baselines_file(path.string(), error).has_value();
+  }
+  if (path.filename() == "coverage.json") {
+    return fuzz::load_coverage_report(path.string(), error).has_value();
   }
   return ScenarioFile::load(path.string(), error).has_value();
 }
@@ -626,6 +646,54 @@ int run_gate_registry(const std::string& file, bool include_big, int jobs) {
   return 0;
 }
 
+int run_fuzz(const Scenario& base, int trials, std::uint64_t fuzz_seed,
+             const std::optional<std::string>& out_dir, int fuzz_jobs) {
+  fuzz::EngineOptions opts;
+  opts.trials = trials;
+  opts.seed = fuzz_seed;
+  opts.jobs = fuzz_jobs;
+  if (out_dir) opts.out_dir = *out_dir;
+  std::printf("fuzz: %d trial(s), seed %llu, jobs=%s, base '%s' "
+              "(%d nodes, membership=%s)\n",
+              trials, static_cast<unsigned long long>(fuzz_seed),
+              fuzz_jobs == 0 ? "auto" : std::to_string(fuzz_jobs).c_str(),
+              base.name.c_str(), base.cluster_size, base.membership.c_str());
+  fuzz::Engine engine(base, opts);
+  const fuzz::FuzzReport r = engine.run();
+  std::printf("\nfuzz: %d trial(s) over %d generation(s) — %zu coverage "
+              "key(s), digest %llu, corpus of %zu timeline(s)\n",
+              r.trials, r.generations, r.coverage_keys,
+              static_cast<unsigned long long>(r.coverage_digest),
+              r.corpus_size);
+  for (const fuzz::Finding& f : r.findings) {
+    std::string invariants;
+    for (const std::string& inv : f.invariants) {
+      if (!invariants.empty()) invariants += ", ";
+      invariants += inv;
+    }
+    std::printf("finding: %s (trial %d, shrunk to %zu timeline entr%s "
+                "in %d round(s))%s%s\n",
+                invariants.c_str(), f.trial_index,
+                f.reproducer.effective_timeline().size(),
+                f.reproducer.effective_timeline().size() == 1 ? "y" : "ies",
+                f.shrink.rounds, f.file.empty() ? "" : " -> ",
+                f.file.c_str());
+  }
+  if (!r.report_file.empty()) {
+    std::printf("coverage report: %s (%zu corpus file(s))\n",
+                r.report_file.c_str(), r.corpus_files.size());
+  }
+  if (!r.findings.empty()) {
+    std::fprintf(stderr,
+                 "\n%zu distinct invariant-violation signature(s) found — "
+                 "replay a reproducer with --scenario-file FILE --check\n",
+                 r.findings.size());
+    return 3;
+  }
+  std::printf("no invariant violations in this budget\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -678,6 +746,10 @@ int main(int argc, char** argv) {
   std::optional<Duration> metrics_interval;
   bool spans = false;
   std::optional<Duration> suspicion_cap;
+  std::optional<int> fuzz_trials;
+  std::uint64_t fuzz_seed = 1;
+  std::optional<std::string> fuzz_out;
+  int fuzz_jobs = 0;  // 0 = one worker per hardware thread
   harness::Backend backend = harness::Backend::kSim;
   std::optional<Duration> watchdog_timeout;
   std::string live_logs = "live-logs";
@@ -753,6 +825,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--suspicion-cap") {
       check_mode = true;
       suspicion_cap = msec(parse_int(arg, next(), 1, 86400000));
+    } else if (arg == "--fuzz") {
+      fuzz_trials = static_cast<int>(parse_int(arg, next(), 1, 1000000));
+    } else if (arg == "--fuzz-seed") {
+      fuzz_seed = parse_u64(arg, next());
+    } else if (arg == "--fuzz-out") {
+      fuzz_out = next();
+    } else if (arg == "--fuzz-jobs") {
+      fuzz_jobs = static_cast<int>(parse_int(arg, next(), 0, 1024));
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--replay") {
@@ -883,6 +963,24 @@ int main(int argc, char** argv) {
     s.metrics_interval = *metrics_interval;
   } else if (metrics_out && s.metrics_interval <= Duration{0}) {
     s.metrics_interval = msec(500);
+  }
+
+  if (fuzz_trials) {
+    if (campaign_mode || trace_path || gate_path || metrics_out ||
+        backend != harness::Backend::kSim) {
+      usage_error("--fuzz is its own simulator-only mode and cannot combine "
+                  "with --campaign, --trace, --gate, --metrics-out or "
+                  "--backend live");
+    }
+    try {
+      return run_fuzz(s, *fuzz_trials, fuzz_seed, fuzz_out, fuzz_jobs);
+    } catch (const ScenarioError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+      return 2;
+    }
   }
 
   if (backend == harness::Backend::kLive && campaign_mode) {

@@ -1,0 +1,167 @@
+#include "check/coverage.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace lifeguard::check {
+
+namespace {
+
+// Feature namespaces. Values are part of the committed golden digest —
+// append, never renumber.
+enum Tag : std::uint64_t {
+  kTagTransition = 1,   ///< (prev state, new state)
+  kTagOriginated = 2,   ///< (new state) when the reporter originated it
+  kTagFaultSpan = 3,    ///< (FaultKind, member-event kind) while active
+  kTagSuspWindow = 4,   ///< log2-seconds bucket of suspect -> failed
+  kTagControl = 5,      ///< crash/restart/block/unblock seen
+  kTagSpanEdge = 6,     ///< (FaultKind, start|end)
+  kTagOverlap = 7,      ///< concurrently active fault entries at a start
+  kTagCountBucket = 8,  ///< (member-event kind, log2 count)
+};
+
+/// Fixed mixing of up to three feature words under a tag. FNV-1a over
+/// SplitMix64-whitened words: platform-independent, order-sensitive in its
+/// arguments, and stable forever (the golden-digest contract).
+std::uint64_t mix(std::uint64_t tag, std::uint64_t a, std::uint64_t b = 0,
+                  std::uint64_t c = 0) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t v : {tag, a, b, c}) {
+    h ^= splitmix64(v);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t pair_key(int node, int peer) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 32) |
+         static_cast<std::uint32_t>(peer);
+}
+
+std::uint64_t log2_bucket(std::int64_t v) {
+  std::uint64_t b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+constexpr std::uint8_t kNoState = 0xff;
+
+}  // namespace
+
+CoverageCollector::CoverageCollector(std::vector<fault::FaultKind> entry_kinds)
+    : entry_kinds_(std::move(entry_kinds)),
+      member_event_counts_(static_cast<std::size_t>(TraceEventKind::kLeft) + 1,
+                           0) {}
+
+void CoverageCollector::add_member_event(const TraceEvent& e) {
+  const auto kind = static_cast<std::uint8_t>(e.kind);
+  ++member_event_counts_[kind];
+
+  const std::uint64_t pk = pair_key(e.node, e.peer);
+  auto [it, inserted] = last_state_.try_emplace(pk, kNoState);
+  const std::uint8_t prev = it->second;
+  it->second = kind;
+  keys_.insert(mix(kTagTransition, prev, kind));
+  if (e.originated) keys_.insert(mix(kTagOriginated, kind));
+
+  // Suspicion window: the span from the first suspect observation to the
+  // failed verdict for the same (reporter, subject), log2 seconds.
+  if (e.kind == TraceEventKind::kSuspect) {
+    suspect_since_.try_emplace(pk, e.at);
+  } else if (e.kind == TraceEventKind::kFailed) {
+    const auto s = suspect_since_.find(pk);
+    if (s != suspect_since_.end()) {
+      const std::int64_t window_s =
+          std::max<std::int64_t>((e.at - s->second).us / 1000000, 1);
+      keys_.insert(mix(kTagSuspWindow, log2_bucket(window_s)));
+      suspect_since_.erase(s);
+    }
+  } else {
+    suspect_since_.erase(pk);
+  }
+
+  // Fault-span x member-state: which transitions happen under which kinds
+  // of active badness.
+  for (const auto& [entry, depth] : active_entries_) {
+    if (depth <= 0) continue;
+    const std::uint64_t fk =
+        entry >= 0 && entry < static_cast<int>(entry_kinds_.size())
+            ? static_cast<std::uint64_t>(entry_kinds_[static_cast<std::size_t>(
+                  entry)])
+            : 0x100 + static_cast<std::uint64_t>(entry);
+    keys_.insert(mix(kTagFaultSpan, fk, kind));
+  }
+}
+
+void CoverageCollector::add_fault_span(const TraceEvent& e) {
+  const bool start = e.kind == TraceEventKind::kFaultStart;
+  const std::uint64_t fk =
+      e.peer >= 0 && e.peer < static_cast<int>(entry_kinds_.size())
+          ? static_cast<std::uint64_t>(
+                entry_kinds_[static_cast<std::size_t>(e.peer)])
+          : 0x100 + static_cast<std::uint64_t>(e.peer);
+  keys_.insert(mix(kTagSpanEdge, fk, start ? 1 : 0));
+  if (start) {
+    ++active_entries_[e.peer];
+    std::int64_t overlap = 0;
+    for (const auto& [entry, depth] : active_entries_) {
+      if (depth > 0) ++overlap;
+    }
+    keys_.insert(mix(kTagOverlap, static_cast<std::uint64_t>(overlap)));
+  } else {
+    auto it = active_entries_.find(e.peer);
+    if (it != active_entries_.end() && --it->second <= 0) {
+      active_entries_.erase(it);
+    }
+  }
+}
+
+void CoverageCollector::on_trace_event(const TraceEvent& e) {
+  if (is_member_event(e.kind)) {
+    add_member_event(e);
+    return;
+  }
+  switch (e.kind) {
+    case TraceEventKind::kCrash:
+    case TraceEventKind::kRestart:
+    case TraceEventKind::kBlock:
+    case TraceEventKind::kUnblock:
+      keys_.insert(mix(kTagControl, static_cast<std::uint64_t>(e.kind)));
+      break;
+    case TraceEventKind::kFaultStart:
+    case TraceEventKind::kFaultEnd:
+      add_fault_span(e);
+      break;
+    default:  // metric samples, probe spans, datagrams: not coverage signal
+      break;
+  }
+}
+
+std::vector<std::uint64_t> CoverageCollector::keys() const {
+  std::vector<std::uint64_t> out(keys_.begin(), keys_.end());
+  for (std::size_t k = 0; k < member_event_counts_.size(); ++k) {
+    if (member_event_counts_[k] > 0) {
+      out.push_back(
+          mix(kTagCountBucket, k, log2_bucket(member_event_counts_[k])));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::uint64_t CoverageCollector::digest_of(
+    const std::vector<std::uint64_t>& keys) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t k : keys) {
+    h ^= k;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace lifeguard::check

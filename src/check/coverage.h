@@ -1,0 +1,73 @@
+// check::CoverageCollector — structural coverage over the merged stream.
+//
+// The fuzzer (src/fuzz) needs a deterministic, compact answer to "did this
+// trial exercise protocol behavior no earlier trial reached?". This sink
+// folds the merged TraceEvent stream into a set of 64-bit feature keys:
+//
+//   * state-transition edges: (previous state -> new state) of a subject
+//     member as observed by a reporter, deduplicated cluster-wide, plus
+//     whether the reporter originated the transition;
+//   * fault-span x member-state pairs: which membership transitions occur
+//     while a fault of each FaultKind is active (kFaultStart/kFaultEnd
+//     carry the timeline entry index; the constructor's kind list maps it
+//     back to the FaultKind);
+//   * suspicion-window edges: the log2 bucket of the observed
+//     suspect -> failed window per (reporter, subject) pair — the invariant
+//     window the suspicion-bounds check measures;
+//   * process-control events seen (crash/restart/block/unblock), fault-span
+//     begin/end edges per kind, and the overlap depth of concurrently
+//     active fault entries;
+//   * log2 count buckets per membership-transition kind, so "ten times as
+//     many suspicions" is new coverage even when every edge was known.
+//
+// Keys are order-insensitive (a set), derived only from the stream, and the
+// hash is a fixed FNV/SplitMix construction with no pointers, addresses or
+// host state — two identical traces produce identical keys on any platform,
+// which is what the golden-digest test pins.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/events.h"
+#include "fault/fault.h"
+
+namespace lifeguard::check {
+
+class CoverageCollector final : public TraceSink {
+ public:
+  /// `entry_kinds[i]` is the FaultKind of fault::Timeline entry i — the
+  /// index kFaultStart/kFaultEnd events carry in `peer`. Events naming an
+  /// unknown entry index contribute span features under their raw index.
+  explicit CoverageCollector(std::vector<fault::FaultKind> entry_kinds = {});
+
+  void on_trace_event(const TraceEvent& e) override;
+
+  /// Sorted, deduplicated feature keys of the stream seen so far, including
+  /// the per-kind count buckets (recomputed on every call — cheap).
+  std::vector<std::uint64_t> keys() const;
+
+  /// Order-independent digest of keys(): FNV-1a folded over the sorted key
+  /// list. Two runs with identical coverage have identical digests.
+  std::uint64_t digest() const { return digest_of(keys()); }
+
+  static std::uint64_t digest_of(const std::vector<std::uint64_t>& keys);
+
+ private:
+  void add_member_event(const TraceEvent& e);
+  void add_fault_span(const TraceEvent& e);
+
+  std::vector<fault::FaultKind> entry_kinds_;
+  std::unordered_set<std::uint64_t> keys_;
+  /// (reporter, subject) -> last observed state kind (for transition edges).
+  std::unordered_map<std::uint64_t, std::uint8_t> last_state_;
+  /// (reporter, subject) -> time the current suspicion was first observed.
+  std::unordered_map<std::uint64_t, TimePoint> suspect_since_;
+  /// Active fault entries, as a FaultKind occupancy count.
+  std::unordered_map<int, int> active_entries_;
+  std::vector<std::int64_t> member_event_counts_;
+};
+
+}  // namespace lifeguard::check

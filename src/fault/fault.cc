@@ -707,4 +707,144 @@ Duration cycle_aligned_length(Duration span, Duration duration,
   return cycle * cycles;
 }
 
+// ---------------------------------------------------------------------------
+// Fuzzing hooks
+
+namespace {
+
+/// Uniform whole-millisecond duration on a `step_ms` grid over [lo, hi] —
+/// the serializable value lattice every generated span lives on.
+Duration grid_ms(Rng& rng, std::int64_t lo_ms, std::int64_t hi_ms,
+                 std::int64_t step_ms) {
+  if (hi_ms < lo_ms) hi_ms = lo_ms;
+  const std::int64_t steps = (hi_ms - lo_ms) / step_ms;
+  return msec(lo_ms +
+              step_ms * static_cast<std::int64_t>(
+                            rng.uniform(static_cast<std::uint64_t>(steps + 1))));
+}
+
+/// Probabilities are twentieths in (0, 1]: 0.05, 0.1, ..., 1. Shortest-form
+/// double rendering of these is short and strtod-exact.
+double grid_prob(Rng& rng) {
+  return static_cast<double>(1 + rng.uniform(20)) / 20.0;
+}
+
+VictimSelector random_selector(FaultKind kind, int cluster_size, Rng& rng) {
+  // Churn never touches node 0 (the rejoin seed); churn and partition must
+  // leave survivors, so their victim count stays below the cluster size.
+  const bool churn = kind == FaultKind::kChurn;
+  const bool spare_some = churn || kind == FaultKind::kPartition;
+  const int cap =
+      std::max(1, std::min(spare_some ? cluster_size - 1 : cluster_size,
+                           cluster_size / 2 + 1));
+  const int count = 1 + static_cast<int>(rng.uniform(
+                            static_cast<std::uint64_t>(cap)));
+  switch (rng.uniform(3)) {
+    case 0:
+      return VictimSelector::uniform(count);
+    case 1: {
+      const int lo = churn ? 1 : 0;
+      std::vector<int> pool;
+      for (int i = lo; i < cluster_size; ++i) pool.push_back(i);
+      rng.shuffle(pool);
+      const int k = std::min<int>(count, static_cast<int>(pool.size()));
+      pool.resize(static_cast<std::size_t>(k));
+      std::sort(pool.begin(), pool.end());
+      return VictimSelector::nodes(std::move(pool));
+    }
+    default: {
+      const int lo = churn ? 1 : 0;
+      const int c = std::min(count, cluster_size - lo);
+      const int first =
+          lo + static_cast<int>(rng.uniform(
+                   static_cast<std::uint64_t>(cluster_size - lo - c + 1)));
+      return VictimSelector::island(c, first);
+    }
+  }
+}
+
+Fault random_fault(FaultKind kind, Rng& rng) {
+  switch (kind) {
+    case FaultKind::kBlock:
+      return Fault::block();
+    case FaultKind::kIntervalBlock:
+      return Fault::interval_block(grid_ms(rng, 250, 4000, 250),
+                                   grid_ms(rng, 250, 4000, 250));
+    case FaultKind::kFlapping:
+      return Fault::flapping(grid_ms(rng, 250, 4000, 250),
+                             grid_ms(rng, 250, 4000, 250));
+    case FaultKind::kStress: {
+      sim::StressParams p;
+      p.block_min = grid_ms(rng, 100, 2000, 100);
+      p.block_max = p.block_min + grid_ms(rng, 0, 4000, 100);
+      p.run_min = grid_ms(rng, 1, 50, 1);
+      p.run_max = p.run_min + grid_ms(rng, 0, 100, 1);
+      return Fault::stressed(p);
+    }
+    case FaultKind::kChurn:
+      return Fault::churn(grid_ms(rng, 500, 8000, 250),
+                          grid_ms(rng, 1000, 10000, 250));
+    case FaultKind::kPartition:
+      return Fault::partition();
+    case FaultKind::kLinkLoss: {
+      const double egress = grid_prob(rng);
+      const double ingress = rng.chance(0.5) ? grid_prob(rng) : 0.0;
+      return Fault::link_loss(egress, ingress);
+    }
+    case FaultKind::kLatency:
+      return Fault::latency(grid_ms(rng, 50, 2000, 50),
+                            grid_ms(rng, 0, 1000, 50));
+    case FaultKind::kDuplicate:
+      return Fault::duplicate(grid_prob(rng));
+    case FaultKind::kReorder:
+      return Fault::reorder(grid_prob(rng), grid_ms(rng, 10, 1000, 10));
+  }
+  return Fault::block();  // unreachable
+}
+
+}  // namespace
+
+const std::vector<FaultKind>& all_fault_kinds() {
+  static const std::vector<FaultKind> kinds = {
+      FaultKind::kBlock,    FaultKind::kIntervalBlock, FaultKind::kStress,
+      FaultKind::kFlapping, FaultKind::kChurn,         FaultKind::kPartition,
+      FaultKind::kLinkLoss, FaultKind::kLatency,       FaultKind::kDuplicate,
+      FaultKind::kReorder,
+  };
+  return kinds;
+}
+
+TimelineEntry random_timeline_entry(FaultKind kind, int cluster_size,
+                                    Duration horizon, Rng& rng) {
+  TimelineEntry e;
+  const std::int64_t horizon_ms = std::max<std::int64_t>(horizon.us / 1000,
+                                                         1000);
+  // Onset leaves at least 500 ms of active span before the horizon.
+  e.at = grid_ms(rng, 0, horizon_ms - 500, 250);
+  e.duration = grid_ms(rng, 500, horizon_ms - e.at.us / 1000, 250);
+  e.fault = random_fault(kind, rng);
+  e.victims = random_selector(kind, cluster_size, rng);
+  return e;
+}
+
+void perturb_timeline_entry(TimelineEntry& e, int cluster_size,
+                            Duration horizon, Rng& rng) {
+  const std::int64_t horizon_ms = std::max<std::int64_t>(horizon.us / 1000,
+                                                         1000);
+  switch (rng.uniform(4)) {
+    case 0:  // onset — keep the span inside the horizon
+      e.at = grid_ms(rng, 0, horizon_ms - e.duration.us / 1000, 250);
+      break;
+    case 1:  // duration
+      e.duration = grid_ms(rng, 500, horizon_ms - e.at.us / 1000, 250);
+      break;
+    case 2:  // victims
+      e.victims = random_selector(e.fault.kind, cluster_size, rng);
+      break;
+    default:  // parameters (a fresh draw of the same kind)
+      e.fault = random_fault(e.fault.kind, rng);
+      break;
+  }
+}
+
 }  // namespace lifeguard::fault

@@ -199,6 +199,30 @@ class Timeline {
 std::optional<TimelineEntry> parse_timeline_entry(std::string_view spec,
                                                   std::string& error);
 
+// ---------------------------------------------------------------------------
+// Fuzzing hooks (src/fuzz)
+
+/// Every FaultKind in declaration order — the fuzzer's enumeration seam.
+const std::vector<FaultKind>& all_fault_kinds();
+
+/// Draw a random entry of `kind` that Timeline::validate() accepts against a
+/// `cluster_size`-node cluster, with `at + duration <= horizon`. Every value
+/// lands on the serializable grid: durations are whole milliseconds (the
+/// `<N>us` rendering is exact) and probabilities are twentieths (shortest
+/// double form, exact strtod round trip), so the entry round-trips through
+/// check::entry_spec() bit-for-bit. Victim selectors come from the uniform /
+/// explicit / island modes only — never kFraction, whose pct rendering
+/// multiplies by 100 and cannot guarantee an exact round trip.
+/// Requires cluster_size >= 3 and horizon >= 1 s.
+TimelineEntry random_timeline_entry(FaultKind kind, int cluster_size,
+                                    Duration horizon, Rng& rng);
+
+/// Re-draw one rng-chosen dimension of `e` (onset, duration, victims or the
+/// kind's parameters) under the same grid, keeping the entry validate-clean
+/// and `at + duration <= horizon`.
+void perturb_timeline_entry(TimelineEntry& e, int cluster_size,
+                            Duration horizon, Rng& rng);
+
 /// "The test ends at the end of the next anomalous period" (§V-D2):
 /// `span` rounded up to whole (duration + interval) cycles. One definition,
 /// shared by the injector's drain computation and the legacy-grid sweeps, so

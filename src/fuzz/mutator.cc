@@ -1,0 +1,96 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace lifeguard::fuzz {
+
+namespace {
+
+fault::FaultKind random_kind(Rng& rng) {
+  const auto& kinds = fault::all_fault_kinds();
+  return kinds[static_cast<std::size_t>(rng.uniform(kinds.size()))];
+}
+
+}  // namespace
+
+fault::TimelineEntry Mutator::random_entry(Rng& rng) const {
+  return fault::random_timeline_entry(random_kind(rng), cluster_size_,
+                                      opts_.horizon, rng);
+}
+
+fault::Timeline Mutator::random_timeline(Rng& rng) const {
+  const int n = 1 + static_cast<int>(rng.uniform(
+                        static_cast<std::uint64_t>(opts_.max_entries)));
+  fault::Timeline tl;
+  for (int i = 0; i < n; ++i) tl.add(random_entry(rng));
+  return tl;
+}
+
+fault::Timeline Mutator::mutate(const fault::Timeline& parent,
+                                const fault::Timeline& other,
+                                Rng& rng) const {
+  std::vector<fault::TimelineEntry> entries = parent.entries();
+  if (entries.empty()) return random_timeline(rng);
+
+  // Op weights favor small local moves; crossover only when a second
+  // parent exists. The draw order is part of the determinism contract.
+  const bool can_cross = !other.empty();
+  const std::uint64_t op = rng.uniform(can_cross ? 5 : 4);
+  switch (op) {
+    case 0: {  // splice a fresh entry (replace one at the size ceiling)
+      const fault::TimelineEntry fresh = random_entry(rng);
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform(entries.size() + 1));
+      if (static_cast<int>(entries.size()) < opts_.max_entries) {
+        entries.insert(entries.begin() + static_cast<std::ptrdiff_t>(pos),
+                       fresh);
+      } else {
+        entries[std::min(pos, entries.size() - 1)] = fresh;
+      }
+      break;
+    }
+    case 1: {  // drop an entry (timelines stay non-empty)
+      if (entries.size() > 1) {
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.uniform(entries.size()));
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(pos));
+      } else {
+        entries[0] = random_entry(rng);
+      }
+      break;
+    }
+    case 2: {  // perturb one dimension of one entry
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform(entries.size()));
+      fault::perturb_timeline_entry(entries[pos], cluster_size_,
+                                    opts_.horizon, rng);
+      break;
+    }
+    case 3: {  // re-kind: same slot, fresh entry of a fresh kind
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform(entries.size()));
+      entries[pos] = random_entry(rng);
+      break;
+    }
+    default: {  // crossover: parent prefix + other suffix
+      const std::size_t cut =
+          1 + static_cast<std::size_t>(rng.uniform(entries.size()));
+      entries.resize(std::min(cut, entries.size()));
+      const auto& tail = other.entries();
+      const std::size_t from =
+          static_cast<std::size_t>(rng.uniform(tail.size()));
+      for (std::size_t i = from; i < tail.size(); ++i) {
+        if (static_cast<int>(entries.size()) >= opts_.max_entries) break;
+        entries.push_back(tail[i]);
+      }
+      break;
+    }
+  }
+
+  fault::Timeline out;
+  for (fault::TimelineEntry& e : entries) out.add(std::move(e));
+  return out;
+}
+
+}  // namespace lifeguard::fuzz

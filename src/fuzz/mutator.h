@@ -1,0 +1,61 @@
+// fuzz::Mutator — grammar-bounded mutation of fault::Timelines.
+//
+// Every candidate the fuzzer proposes must be a first-class scenario: it
+// has to pass Timeline::validate() against the target cluster, serialize
+// through check::entry_spec() bit-for-bit (so a finding can land as a
+// committed scenarios/fuzz-*.json file), and replay deterministically. The
+// mutator therefore never edits free-form: it composes the generation
+// primitives in fault/fault.h (random_timeline_entry / perturb_timeline_
+// entry), which draw every value from the serializable grid — whole-
+// millisecond durations, twentieth probabilities, and the uniform /
+// explicit / island victim modes (never kFraction, whose pct rendering is
+// not exactly invertible).
+//
+// Mutations are pure functions of (parent, other, Rng): splice in a fresh
+// entry, drop one, perturb one dimension of one entry, re-kind an entry, or
+// cross two corpus timelines. Determinism is the caller's contract — hand
+// in an Rng seeded from the trial derivation chain and the same candidate
+// comes out on every run at every jobs level.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fault/fault.h"
+
+namespace lifeguard::fuzz {
+
+struct MutatorOptions {
+  /// Candidate timelines never exceed this many entries (shrinking budget
+  /// and scenario readability both favor short timelines).
+  int max_entries = 4;
+  /// Every entry satisfies at + duration <= horizon, leaving the run a
+  /// disturbance-free tail for the convergence invariant to assert over.
+  Duration horizon = sec(25);
+};
+
+class Mutator {
+ public:
+  Mutator(int cluster_size, MutatorOptions opts = {})
+      : cluster_size_(cluster_size), opts_(opts) {}
+
+  const MutatorOptions& options() const { return opts_; }
+  int cluster_size() const { return cluster_size_; }
+
+  /// A fresh random timeline of 1..max_entries entries — corpus seeding.
+  fault::Timeline random_timeline(Rng& rng) const;
+
+  /// One random entry of one random kind (also used by splice).
+  fault::TimelineEntry random_entry(Rng& rng) const;
+
+  /// One mutation step over `parent`, optionally crossing with `other`
+  /// (pass an empty timeline when there is no second parent). The result is
+  /// non-empty, within max_entries, and validate-clean by construction.
+  fault::Timeline mutate(const fault::Timeline& parent,
+                         const fault::Timeline& other, Rng& rng) const;
+
+ private:
+  int cluster_size_;
+  MutatorOptions opts_;
+};
+
+}  // namespace lifeguard::fuzz

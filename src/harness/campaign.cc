@@ -341,7 +341,10 @@ CampaignResult run(const Campaign& c, const std::vector<Reporter*>& reporters) {
       try {
         Scenario s = point.scenario;
         s.seed = t.seed;
-        t.result = harness::run(s);
+        const std::vector<check::TraceSink*> sinks =
+            c.trial_sinks ? c.trial_sinks(t)
+                          : std::vector<check::TraceSink*>{};
+        t.result = harness::run(s, sinks);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);
         if (!first_error) first_error = std::current_exception();

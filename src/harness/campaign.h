@@ -32,7 +32,8 @@
 
 namespace lifeguard::harness {
 
-class Reporter;  // report.h
+class Reporter;       // report.h
+struct TrialResult;   // below — Campaign::trial_sinks names it
 
 // ---------------------------------------------------------------------------
 // Axes
@@ -103,6 +104,14 @@ struct Campaign {
   /// default: the registry is the bulky part of a RunResult and aggregation
   /// only needs the scalar fields. Reporters always see the full result.
   bool keep_trial_metrics = false;
+  /// Optional per-trial TraceSink factory: called on the worker thread just
+  /// before the trial runs, with the trial's coordinates already filled in;
+  /// the returned sinks observe that trial's merged event stream (the
+  /// fuzzer's coverage seam). The factory must be thread-safe and the sinks
+  /// it returns must not be shared across concurrent trials — hand out one
+  /// pre-allocated sink per trial_index and determinism is preserved.
+  std::function<std::vector<check::TraceSink*>(const TrialResult&)>
+      trial_sinks;
 
   /// Empty when runnable; otherwise one actionable message per defect
   /// (including per-grid-point Scenario validation failures).

@@ -75,6 +75,8 @@ std::string config_overrides_json(const swim::Config& cfg,
          base.push_pull_interval);
   put_us("reconnect_interval_us", cfg.reconnect_interval,
          base.reconnect_interval);
+  put_us("join_retry_interval_us", cfg.join_retry_interval,
+         base.join_retry_interval);
   put_bool("lha_probe", cfg.lha_probe, base.lha_probe);
   put_bool("lha_suspicion", cfg.lha_suspicion, base.lha_suspicion);
   put_bool("buddy_system", cfg.buddy_system, base.buddy_system);
@@ -97,8 +99,9 @@ bool apply_config_overrides(const Value& o, swim::Config& cfg,
       "retransmit_mult",     "gossip_interval_us",
       "gossip_fanout",       "gossip_to_dead_us",
       "max_packet_bytes",    "push_pull_interval_us",
-      "reconnect_interval_us", "lha_probe",
-      "lha_suspicion",       "buddy_system",
+      "reconnect_interval_us", "join_retry_interval_us",
+      "lha_probe",           "lha_suspicion",
+      "buddy_system",
       "lhm_max",             "nack_fraction",
       "nack_enabled",        "dead_reclaim_after_us",
   };
@@ -133,6 +136,8 @@ bool apply_config_overrides(const Value& o, swim::Config& cfg,
                          cfg.push_pull_interval.us, error, opt) ||
       !flatjson::get_i64(o, "reconnect_interval_us",
                          cfg.reconnect_interval.us, error, opt) ||
+      !flatjson::get_i64(o, "join_retry_interval_us",
+                         cfg.join_retry_interval.us, error, opt) ||
       !flatjson::get_i64(o, "dead_reclaim_after_us",
                          cfg.dead_reclaim_after.us, error, opt)) {
     return false;

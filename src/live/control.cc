@@ -150,6 +150,7 @@ std::string encode_config(const swim::Config& c) {
   kv("mpb", std::to_string(c.max_packet_bytes));
   kv("ppi", fmt_us(c.push_pull_interval));
   kv("ri", fmt_us(c.reconnect_interval));
+  kv("jri", fmt_us(c.join_retry_interval));
   kv("sa", fmt_double(c.suspicion_alpha));
   kv("sb", fmt_double(c.suspicion_beta));
   kv("sk", std::to_string(c.suspicion_k));
@@ -189,6 +190,7 @@ std::optional<swim::Config> decode_config(std::string_view s,
              c.max_packet_bytes = static_cast<std::size_t>(i);
     else if (key == "ppi") parsed = parse_duration_us(val, c.push_pull_interval);
     else if (key == "ri") parsed = parse_duration_us(val, c.reconnect_interval);
+    else if (key == "jri") parsed = parse_duration_us(val, c.join_retry_interval);
     else if (key == "sa") parsed = parse_double(val, c.suspicion_alpha);
     else if (key == "sb") parsed = parse_double(val, c.suspicion_beta);
     else if (key == "sk") parsed = parse_i64(val, i),

@@ -30,12 +30,16 @@ std::optional<BackendSpec> parse_spec(std::string_view spec,
   const std::size_t colon = spec.find(':');
   if (colon == std::string_view::npos) return out;
   std::string_view params = spec.substr(colon + 1);
-  if (out.base != "central") {
-    return fail("backend '" + out.base + "' takes no parameters");
+  if (out.base == "static") {
+    return fail("backend 'static' takes no parameters");
   }
+  const std::string known_keys =
+      out.base == "central" ? "miss, plant" : "plant";
   if (params.empty()) {
     return fail("empty parameter list after '" + out.base +
-                ":' (drop the colon or pass e.g. miss=3)");
+                ":' (drop the colon or pass e.g. " +
+                (out.base == "central" ? "miss=3" : "plant=drop-refute") +
+                ")");
   }
   while (!params.empty()) {
     const std::size_t comma = params.find(',');
@@ -44,21 +48,32 @@ std::optional<BackendSpec> parse_spec(std::string_view spec,
                                              : params.substr(comma + 1);
     const std::size_t eq = kv.find('=');
     const std::string_view key = kv.substr(0, eq);
-    if (key != "miss") {
-      return fail("unknown central parameter '" + std::string(key) +
-                  "' (known: miss)");
+    if (key == "miss" && out.base == "central") {
+      if (eq == std::string_view::npos) return fail("miss needs a value");
+      const std::string_view val = kv.substr(eq + 1);
+      int miss = 0;
+      const auto [ptr, ec] =
+          std::from_chars(val.data(), val.data() + val.size(), miss);
+      if (ec != std::errc{} || ptr != val.data() + val.size() || miss < 1 ||
+          miss > 100) {
+        return fail("miss must be an integer in [1, 100], got '" +
+                    std::string(val) + "'");
+      }
+      out.miss_threshold = miss;
+    } else if (key == "plant") {
+      if (eq == std::string_view::npos) return fail("plant needs a value");
+      const std::string_view val = kv.substr(eq + 1);
+      const std::string_view known =
+          out.base == "swim" ? "drop-refute" : "refail";
+      if (val != known) {
+        return fail("unknown " + out.base + " plant '" + std::string(val) +
+                    "' (known: " + std::string(known) + ")");
+      }
+      out.plant = std::string(val);
+    } else {
+      return fail("unknown " + out.base + " parameter '" + std::string(key) +
+                  "' (known: " + known_keys + ")");
     }
-    if (eq == std::string_view::npos) return fail("miss needs a value");
-    const std::string_view val = kv.substr(eq + 1);
-    int miss = 0;
-    const auto [ptr, ec] =
-        std::from_chars(val.data(), val.data() + val.size(), miss);
-    if (ec != std::errc{} || ptr != val.data() + val.size() || miss < 1 ||
-        miss > 100) {
-      return fail("miss must be an integer in [1, 100], got '" +
-                  std::string(val) + "'");
-    }
-    out.miss_threshold = miss;
   }
   return out;
 }
@@ -152,9 +167,12 @@ class SwimBackend final : public Backend {
                                 Runtime& rt) const override {
     // Argument-for-argument the pre-refactor direct construction: the swim
     // backend must stay golden-seed bit-parity with it (no extra Rng draws,
-    // no reordering).
-    return std::make_unique<swim::Node>(params.name, params.address,
-                                        params.config, rt);
+    // no reordering). The plant flag is set after construction — a no-op
+    // unless the spec asks for it.
+    auto node = std::make_unique<swim::Node>(params.name, params.address,
+                                             params.config, rt);
+    if (params.spec.plant == "drop-refute") node->plant_drop_refute(true);
+    return node;
   }
 };
 

@@ -15,6 +15,20 @@
 //   static           fixed membership, no detection — the control/noise
 //                    floor for comparative campaigns
 //
+// Planted defects (test-only): `plant=NAME` re-introduces a known protocol
+// bug behind the spec grammar, so the fuzzer's planted-bug regression suite
+// (tests/fuzz) has real violations to find, and a reproducer scenario file
+// carries its plant in the `membership` field — replaying the violation
+// bit-for-bit with no out-of-band switches:
+//
+//   swim:plant=drop-refute   the node never refutes suspicion/death gossip
+//                            about itself (a healthy member stays dead in
+//                            every other view -> convergence violation)
+//   central:plant=refail     the coordinator's miss scan drops the
+//                            already-failed guard and re-announces failed
+//                            members every check tick (kFailed -> kFailed,
+//                            a legal-transitions violation)
+//
 // Invariant applicability: swim-specific invariants (suspicion-bounds,
 // refute-before-resurrect, incarnation-monotonic, retransmit-bound) only
 // run when base() == "swim"; check::Checker auto-disables them otherwise.
@@ -37,6 +51,9 @@ struct BackendSpec {
   std::string spec = "swim";  ///< the full spec string, verbatim
   std::string base = "swim";  ///< backend name (the part before ':')
   int miss_threshold = 3;     ///< central: consecutive misses before failed
+  /// Test-only planted defect; empty means none (see the header comment).
+  /// Valid values: "drop-refute" (swim), "refail" (central).
+  std::string plant;
 };
 
 /// The backend name portion of a spec string (everything before the first

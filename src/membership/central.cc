@@ -27,6 +27,7 @@ CentralAgent::CentralAgent(const AgentParams& params, Runtime& rt)
       cluster_size_(params.cluster_size),
       heartbeat_interval_(params.config.probe_interval),
       miss_threshold_(params.spec.miss_threshold),
+      plant_refail_(params.spec.plant == "refail"),
       rt_(rt),
       det_(metrics_) {}
 
@@ -125,7 +126,11 @@ void CentralAgent::check_tick() {
   const Duration deadline = heartbeat_interval_ * miss_threshold_;
   const TimePoint now = rt_.now();
   for (auto& [index, e] : table_) {
-    if (index == index_ || !e.alive) continue;
+    // Planted defect (central:plant=refail): skip the already-failed guard,
+    // so a member whose heartbeats stopped is re-declared failed on every
+    // tick — the kFailed -> kFailed re-announcement the legal-transitions
+    // invariant rejects.
+    if (index == index_ || (!e.alive && !plant_refail_)) continue;
     if (now - e.last_heartbeat > deadline) {
       e.alive = false;
       det_.heartbeat_missed().add();

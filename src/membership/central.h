@@ -117,6 +117,9 @@ class CentralAgent final : public Agent {
   int cluster_size_ = 0;
   Duration heartbeat_interval_{};
   int miss_threshold_ = 3;
+  /// Test-only planted defect ("central:plant=refail"): the miss scan drops
+  /// the already-failed guard and re-announces failed members every tick.
+  bool plant_refail_ = false;
 
   Runtime& rt_;
   swim::EventBus events_;

@@ -86,6 +86,15 @@ void SimRuntime::drain_one() {
   schedule_drain();
 }
 
+void SimRuntime::reset_on_crash() {
+  blocked_ = false;
+  for (PendingPacket& p : pending_out_) sim_.recycle_buffer(std::move(p.payload));
+  pending_out_.clear();
+  for (PendingPacket& p : pending_in_) sim_.recycle_buffer(std::move(p.payload));
+  pending_in_.clear();
+  pending_in_bytes_ = 0;
+}
+
 void SimRuntime::set_blocked(bool blocked) {
   if (blocked == blocked_) return;
   blocked_ = blocked;

@@ -56,6 +56,11 @@ class SimRuntime final : public Runtime {
   void deliver(const Address& from, std::vector<std::uint8_t> payload,
                Channel channel);
   void set_blocked(bool blocked);
+  /// The host process died: its kernel state dies with it. Drops the stuck
+  /// outbound sends and the unread inbound backlog, and clears any block so
+  /// a later anomaly-end cannot flush traffic from the dead incarnation.
+  /// (restart_node reuses this runtime for the fresh process.)
+  void reset_on_crash();
   const Address& address() const { return addr_; }
   int node_index() const { return node_; }
   /// Cap on queued unprocessed inbound bytes while blocked (socket buffer).

@@ -169,6 +169,10 @@ void Simulator::crash_node(int index) {
   note(SimEventKind::kCrash, index);
   crashed_[static_cast<std::size_t>(index)] = true;
   agents_[static_cast<std::size_t>(index)]->stop();
+  // Found by the fuzzer (scenarios/fuzz-corpus regression): a host crashed
+  // while blocked kept its queued sends, and the anomaly's end flushed them
+  // — datagrams from a dead node. A crash takes the kernel buffers with it.
+  runtimes_[static_cast<std::size_t>(index)]->reset_on_crash();
 }
 
 void Simulator::restart_node(int index) {

@@ -52,6 +52,12 @@ struct Config {
   /// member (Serf-style), which is what re-merges fully partitioned
   /// sub-groups once connectivity returns. Zero disables.
   Duration reconnect_interval = sec(10);
+  /// A join push-pull that has drawn no sync response within this window is
+  /// re-sent to the seeds. Memberlist's Join reports failure and callers
+  /// retry; without this a node (re)joining through an unreachable seed
+  /// learns quiet members only at the next periodic push-pull — far outside
+  /// the paper's convergence windows. Zero disables (fire-and-forget join).
+  Duration join_retry_interval = sec(2);
 
   // ---- suspicion (SWIM Suspicion subprotocol + Lifeguard §IV-B) ----
   /// α: suspicion timeout multiplier. Min = α·log10(n)·probe_interval.

@@ -50,8 +50,27 @@ void Node::start() {
 }
 
 void Node::join(const std::vector<Address>& seeds) {
+  join_seeds_.clear();
   for (const Address& seed : seeds) {
     if (seed == addr_) continue;
+    join_seeds_.push_back(seed);
+  }
+  join_synced_ = false;
+  send_join_requests();
+  // A join through a partition can lose both request and response, and the
+  // next periodic push-pull is a full interval away — too late to learn
+  // quiet members inside any convergence window (fuzzer-found: a restarted
+  // node whose seed was partitioned ended the run blind to a stable member).
+  // Memberlist's Join reports failure and callers retry; model that here.
+  cancel_timer(join_retry_timer_);
+  if (cfg_.join_retry_interval > Duration{0} && !join_seeds_.empty()) {
+    join_retry_timer_ =
+        rt_.schedule(cfg_.join_retry_interval, [this] { join_retry_tick(); });
+  }
+}
+
+void Node::send_join_requests() {
+  for (const Address& seed : join_seeds_) {
     proto::PushPull req;
     req.is_response = false;
     req.join = true;
@@ -60,6 +79,14 @@ void Node::join(const std::vector<Address>& seeds) {
     req.members = snapshot_state();
     send_message(seed, Channel::kReliable, req, nullptr);
   }
+}
+
+void Node::join_retry_tick() {
+  join_retry_timer_ = kInvalidTimer;
+  if (!running_ || join_synced_) return;
+  send_join_requests();
+  join_retry_timer_ =
+      rt_.schedule(cfg_.join_retry_interval, [this] { join_retry_tick(); });
 }
 
 void Node::leave() {
@@ -81,6 +108,7 @@ void Node::stop() {
   cancel_timer(gossip_tick_timer_);
   cancel_timer(push_pull_timer_);
   cancel_timer(reconnect_timer_);
+  cancel_timer(join_retry_timer_);
   cancel_timer(housekeeping_timer_);
   if (probe_) {
     cancel_timer(probe_->timeout_timer);

@@ -105,6 +105,13 @@ class Node : public membership::Agent {
   /// detaches. The observer must outlive the node or be detached first.
   void set_probe_observer(ProbeObserver* o) override { probe_observer_ = o; }
 
+  /// Test-only planted defect ("swim:plant=drop-refute"): the node never
+  /// refutes suspicion or death gossip about itself, so a healthy member
+  /// stays dead in every other view — the dropped-refute bug the fuzzer's
+  /// planted regression suite must rediscover. Default off; never enable
+  /// outside tests.
+  void plant_drop_refute(bool enabled) { plant_drop_refute_ = enabled; }
+
   // ---- membership::Agent views ----
   int active_members() const override { return table_.num_active(); }
   std::vector<std::string> active_view() const override;
@@ -142,6 +149,11 @@ class Node : public membership::Agent {
   void push_pull_tick();
   /// One anti-entropy exchange with a random peer (tick / unblock catch-up).
   void push_pull_round();
+  /// One push-pull join request to every stored seed.
+  void send_join_requests();
+  /// Re-sends the join exchange until a full sync response has merged
+  /// (memberlist callers retry a failed Join).
+  void join_retry_tick();
   /// Periodic reconnect attempt: push-pull with a random dead member so
   /// healed partitions re-merge (Serf-style).
   void reconnect_tick();
@@ -213,6 +225,7 @@ class Node : public membership::Agent {
   std::uint32_t next_seq_ = 1;
   bool running_ = false;
   bool leaving_ = false;
+  bool plant_drop_refute_ = false;
 
   /// In-flight direct/indirect probe state for the current protocol period.
   struct ProbeState {
@@ -258,10 +271,16 @@ class Node : public membership::Agent {
 
   std::unordered_map<std::string, Suspicion> suspicions_;
 
+  /// Seeds of the most recent join(), kept for the retry loop; join_synced_
+  /// flips once any push-pull response merges, which ends the retries.
+  std::vector<Address> join_seeds_;
+  bool join_synced_ = false;
+
   TimerId probe_tick_timer_ = kInvalidTimer;
   TimerId gossip_tick_timer_ = kInvalidTimer;
   TimerId push_pull_timer_ = kInvalidTimer;
   TimerId reconnect_timer_ = kInvalidTimer;
+  TimerId join_retry_timer_ = kInvalidTimer;
   TimerId housekeeping_timer_ = kInvalidTimer;
 };
 

@@ -185,6 +185,12 @@ void Node::on_dead_msg(const proto::Dead& d) {
 }
 
 void Node::refute(std::uint64_t suspected_incarnation) {
+  // Planted defect (swim:plant=drop-refute): silently drop the refutation.
+  // Without the incarnation bump and Alive broadcast, the suspicion runs to
+  // a death verdict and the dead verdict wins every precedence comparison
+  // afterwards — the node stays dead in every other view while it is in
+  // fact healthy.
+  if (plant_drop_refute_) return;
   incarnation_ = std::max(incarnation_, suspected_incarnation) + 1;
   Member* self = table_.find(name_);
   if (self != nullptr) self->incarnation = incarnation_;

@@ -27,10 +27,20 @@ std::vector<proto::MemberSnapshot> Node::snapshot_state() const {
 
 void Node::handle_push_pull(const proto::PushPull& p) {
   obs_.sync_received().add();
+  if (p.is_response) {
+    // Only a response to the *join* exchange ends the retry loop. A periodic
+    // sync response can come from a peer whose own view is still tiny (e.g.
+    // the other member of a churn pair) and proves nothing about having
+    // merged a seed's full state.
+    if (p.join) {
+      join_synced_ = true;
+      cancel_timer(join_retry_timer_);
+    }
+  }
   if (!p.is_response) {
     proto::PushPull resp;
     resp.is_response = true;
-    resp.join = false;
+    resp.join = p.join;  // echo, so the joiner can tell this answers a join
     resp.from = name_;
     resp.from_addr = addr_;
     resp.members = snapshot_state();

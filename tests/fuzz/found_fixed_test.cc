@@ -1,0 +1,97 @@
+// Found-and-fixed fuzzer regressions.
+//
+// Each test replays, entry for entry and at the original seed, a timeline
+// the coverage-guided fuzzer found and check::shrink() minimized against an
+// earlier revision of the simulator/protocol, together with the bug it
+// exposed and the fix that closed it:
+//
+//   * no-send-from-crashed: a host crashed while anomaly-blocked kept its
+//     queued outbound sends, and the anomaly's end flushed them onto the
+//     network — datagrams from a dead node. Fixed by
+//     SimRuntime::reset_on_crash(): a crash takes the kernel buffers (and
+//     the block itself) with it.
+//   * convergence via lost join: a restarted node whose join push-pull hit
+//     a partitioned seed never retried, so it ended the run blind to any
+//     quiet member (no circulating updates to learn it from). Fixed by the
+//     join retry loop (Config::join_retry_interval).
+//   * convergence via spurious retry cancel: the retry loop was ended by
+//     *any* push-pull response — including a periodic sync answered by the
+//     other member of a churn pair, whose two-entry view proves nothing.
+//     Fixed by echoing the join flag on responses so only a seed's join
+//     response ends the retries.
+//
+// The timelines stay pinned here so the bugs cannot regress silently; if
+// one of these ever violates again, triage with
+//   scenario_runner --scenario <spec...> --trace out.jsonl
+// per docs/fuzzing.md.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+#include "swim/config.h"
+
+namespace lifeguard {
+namespace {
+
+/// Replays one fuzzer-found reproducer: the exact shrunk timeline at the
+/// exact trial seed, checks on, expecting a clean verdict post-fix.
+void expect_fixed(const std::vector<std::string>& specs, std::uint64_t seed,
+                  Duration run_length) {
+  harness::Scenario s;
+  s.name = "found-fixed";
+  s.summary = "fuzzer-found regression";
+  s.cluster_size = 10;
+  s.config = swim::Config::lifeguard();
+  s.seed = seed;
+  s.run_length = run_length;
+  s.checks.enabled = true;
+  for (const std::string& spec : specs) {
+    std::string error;
+    const auto entry = fault::parse_timeline_entry(spec, error);
+    ASSERT_TRUE(entry.has_value()) << spec << ": " << error;
+    s.timeline.add(*entry);
+  }
+  ASSERT_TRUE(s.timeline.validate(s.cluster_size).empty());
+  const harness::RunResult result = harness::run(s);
+  ASSERT_TRUE(result.checks.checked);
+  EXPECT_TRUE(result.checks.passed())
+      << "regressed: " << result.checks.violations.front().message;
+}
+
+TEST(FoundAndFixed, CrashWhileBlockedMustNotFlushQueuedSends) {
+  // fuzz-no-send-from-crashed-6b52da96: stress blocks node 2, churn crashes
+  // it inside the block, and the stress ends (unblock) while it is dead.
+  expect_fixed(
+      {"churn@14500000us:1625000us,island=2+1,down=8000000us,up=3750000us",
+       "duplicate@12000000us:1625000us,nodes=1+3+9,p=0.9",
+       "reorder@10500000us:9000000us,victims=4,p=0.75,spread=990000us",
+       "stress@15500000us:500000us,island=1+2"},
+      7533250717757204000ULL, sec(6));
+}
+
+TEST(FoundAndFixed, RestartThroughPartitionedSeedMustStillConverge) {
+  // fuzz-convergence-7d3e9590: nodes 1 and 6 churn while the seed's island
+  // is cut off; their rejoin push-pull dies in the partition.
+  expect_fixed(
+      {"partition@7500000us:11250000us,island=3+0",
+       "partition@11000000us:8000000us,island=2+4",
+       "churn@8750000us:7250000us,nodes=1+6,down=4500000us,up=5500000us"},
+      16662444044975276195ULL, sec(45));
+}
+
+TEST(FoundAndFixed, PeriodicSyncWithAChurnPeerMustNotEndJoinRetries) {
+  // fuzz-convergence-961c2299: node 4's periodic push-pull is answered by
+  // node 9 — the other churner, two members in view — which used to cancel
+  // the join retry that would have reached the healed seed moments later.
+  expect_fixed(
+      {"partition@7500000us:11250000us,island=3+0",
+       "flapping@0us:140625us,nodes=8,d=3750000us,i=2000000us",
+       "churn@3250000us:10750000us,nodes=4+9,down=500000us,up=1250000us",
+       "flapping@8000000us:9500000us,victims=2,d=2250000us,i=1250000us"},
+      15926790757865043124ULL, sec(45));
+}
+
+}  // namespace
+}  // namespace lifeguard

@@ -1,0 +1,121 @@
+// fuzz::Mutator property tests.
+//
+// The mutator's contract is that every candidate it proposes is a
+// first-class scenario: Timeline::validate()-clean against the target
+// cluster and exactly serializable — each entry round-trips through
+// check::entry_spec() / fault::parse_timeline_entry() to the identical spec
+// string, so a finding can land as a committed scenarios/fuzz-*.json file
+// with nothing lost. These tests hammer that contract over many seeds and
+// long mutation chains, across the cluster sizes the fuzzer targets.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/trace.h"
+#include "common/rng.h"
+#include "fault/fault.h"
+#include "fuzz/mutator.h"
+
+namespace lifeguard {
+namespace {
+
+/// One candidate's whole contract: validate-clean, within the size bounds,
+/// and spec-exact through the committed-file serialization.
+void expect_candidate_ok(const fault::Timeline& tl, int cluster_size,
+                         int max_entries, const std::string& context) {
+  EXPECT_FALSE(tl.empty()) << context;
+  EXPECT_LE(tl.size(), static_cast<std::size_t>(max_entries)) << context;
+  const std::vector<std::string> defects = tl.validate(cluster_size);
+  EXPECT_TRUE(defects.empty())
+      << context << ": " << (defects.empty() ? "" : defects.front());
+  for (const fault::TimelineEntry& e : tl.entries()) {
+    const std::string spec = check::entry_spec(e);
+    std::string error;
+    const auto parsed = fault::parse_timeline_entry(spec, error);
+    ASSERT_TRUE(parsed.has_value()) << context << ": '" << spec
+                                    << "' does not re-parse: " << error;
+    EXPECT_EQ(check::entry_spec(*parsed), spec)
+        << context << ": spec round trip is not exact";
+  }
+}
+
+TEST(Mutator, RandomTimelinesValidateAndRoundTripExactly) {
+  for (const int n : {3, 10, 64}) {
+    const fuzz::Mutator mutator(n);
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+      Rng rng(seed);
+      const fault::Timeline tl = mutator.random_timeline(rng);
+      expect_candidate_ok(tl, n, mutator.options().max_entries,
+                          "n=" + std::to_string(n) + " seed=" +
+                              std::to_string(seed));
+    }
+  }
+}
+
+TEST(Mutator, EveryKindGeneratesValidEntries) {
+  const fuzz::Mutator mutator(10);
+  for (const fault::FaultKind kind : fault::all_fault_kinds()) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+      Rng rng(seed * 977 + static_cast<std::uint64_t>(kind));
+      const fault::TimelineEntry e = fault::random_timeline_entry(
+          kind, 10, mutator.options().horizon, rng);
+      EXPECT_EQ(e.fault.kind, kind);
+      fault::Timeline tl;
+      tl.add(e);
+      expect_candidate_ok(tl, 10, 1,
+                          std::string("kind ") + fault::fault_kind_name(kind) +
+                              " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(Mutator, LongMutationChainsStayWithinTheGrammar) {
+  for (const int n : {3, 12}) {
+    const fuzz::Mutator mutator(n);
+    Rng rng(42);
+    fault::Timeline current = mutator.random_timeline(rng);
+    fault::Timeline other = mutator.random_timeline(rng);
+    for (int step = 0; step < 400; ++step) {
+      fault::Timeline next = mutator.mutate(current, other, rng);
+      expect_candidate_ok(next, n, mutator.options().max_entries,
+                          "n=" + std::to_string(n) + " step=" +
+                              std::to_string(step));
+      other = std::move(current);
+      current = std::move(next);
+    }
+  }
+}
+
+TEST(Mutator, MutationsAreDeterministicInTheRngChain) {
+  const fuzz::Mutator mutator(10);
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    Rng a_rng(seed), b_rng(seed);
+    const fault::Timeline pa = mutator.random_timeline(a_rng);
+    const fault::Timeline pb = mutator.random_timeline(b_rng);
+    EXPECT_EQ(check::timeline_specs(pa), check::timeline_specs(pb));
+    const fault::Timeline ma = mutator.mutate(pa, pa, a_rng);
+    const fault::Timeline mb = mutator.mutate(pb, pb, b_rng);
+    EXPECT_EQ(check::timeline_specs(ma), check::timeline_specs(mb))
+        << "seed " << seed;
+  }
+}
+
+TEST(Mutator, PerturbKeepsEntriesInsideTheHorizon) {
+  const Duration horizon = sec(20);
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const auto& kinds = fault::all_fault_kinds();
+    fault::TimelineEntry e = fault::random_timeline_entry(
+        kinds[static_cast<std::size_t>(rng.uniform(kinds.size()))], 10,
+        horizon, rng);
+    fault::perturb_timeline_entry(e, 10, horizon, rng);
+    EXPECT_LE((e.at + e.duration).us, horizon.us);
+    fault::Timeline tl;
+    tl.add(e);
+    EXPECT_TRUE(tl.validate(10).empty());
+  }
+}
+
+}  // namespace
+}  // namespace lifeguard

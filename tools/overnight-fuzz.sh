@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Long-budget coverage-guided fuzzing of the fault-timeline space.
+#
+#   tools/overnight-fuzz.sh [BUILD_DIR] [TRIALS] [SEED]
+#
+# Runs the fuzzer (scenario_runner --fuzz; src/fuzz) with a large trial
+# budget against the three membership backends — swim, central and swim
+# with an aggressive suspicion cap — and collects everything under
+# fuzz-out/<target>/: auto-shrunk reproducer scenarios (fuzz-*.json, each
+# with a baselines.json entry), the coverage-extending corpus, and a
+# coverage.json report. The whole run is deterministic for a given SEED at
+# any --fuzz-jobs level, so a finding here is a finding everywhere.
+#
+# Exit status: 0 when no target found violations, 3 when at least one did
+# (triage workflow in docs/fuzzing.md — replay a reproducer with
+# `scenario_runner --scenario-file FILE --check`).
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+trials="${2:-20000}"
+seed="${3:-1}"
+runner="$build_dir/scenario_runner"
+
+if [[ ! -x "$runner" ]]; then
+  echo "error: $runner not built (cmake --build $build_dir --target scenario_runner)" >&2
+  exit 2
+fi
+
+out_root="$repo_root/fuzz-out"
+mkdir -p "$out_root"
+found=0
+
+# target-name  extra-flags...
+run_target() {
+  local name="$1"
+  shift
+  echo "=== fuzz target: $name ($trials trials, seed $seed) ==="
+  "$runner" --fuzz "$trials" --fuzz-seed "$seed" \
+            --fuzz-out "$out_root/$name" \
+            --nodes 10 --length 45 "$@"
+  local rc=$?
+  if [[ $rc -eq 3 ]]; then
+    found=1
+  elif [[ $rc -ne 0 ]]; then
+    echo "error: target $name exited $rc" >&2
+    exit "$rc"
+  fi
+  echo
+}
+
+run_target swim
+run_target central --membership central
+# The paper's tuning dimension: a tight-but-legal suspicion cap makes the
+# suspicion-bounds invariant sharp without planting a violation. (Set it
+# below the protocol floor — e.g. 500 — to watch the whole find/shrink
+# pipeline fire; see docs/fuzzing.md.)
+run_target swim-tight-cap --suspicion-cap 30000
+
+if [[ $found -eq 1 ]]; then
+  echo "violations found — reproducers and baselines are under $out_root/"
+  exit 3
+fi
+echo "no violations in this budget — corpus + coverage reports under $out_root/"
